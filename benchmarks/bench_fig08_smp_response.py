@@ -1,0 +1,21 @@
+"""Paper figure 8: response-time comparison on the 4-way SMP system.
+
+Expected shape: with 4 CPUs the saturation point moves out, so response
+times stay low deeper into the client range than on the uniprocessor;
+httpd's measured values remain at or below nio's (error exclusion).
+"""
+
+
+def test_figure_8_smp_response(figure_runner, benchmark, emit):
+    figs = benchmark.pedantic(figure_runner.figure_8, rounds=1, iterations=1)
+    emit("figure_8", figs)
+
+    nio, httpd = figs
+    nio_2w = nio.series[0]
+    # Mid-range (well under SMP capacity): response times in the
+    # millisecond regime.
+    mid = len(nio_2w.y) // 2
+    assert nio_2w.y[mid] < 100.0
+
+    httpd_4096 = next(s for s in httpd.series if s.label.startswith("4096"))
+    assert httpd_4096.y[-1] <= nio_2w.y[-1] * 1.5

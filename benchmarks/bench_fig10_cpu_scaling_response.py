@@ -1,0 +1,19 @@
+"""Paper figure 10: response-time scalability from 1 to 4 CPUs.
+
+Expected shape: at loads that saturate the uniprocessor, the SMP response
+time is significantly lower for both servers (more capacity, shorter
+queues).
+"""
+
+
+def test_figure_10_cpu_scaling_response(figure_runner, benchmark, emit):
+    figs = benchmark.pedantic(figure_runner.figure_10, rounds=1, iterations=1)
+    emit("figure_10", figs)
+
+    for fig in figs:
+        up = next(s for s in fig.series if s.label == "UP")
+        smp = next(s for s in fig.series if s.label == "SMP")
+        # Compare at the highest common load: SMP must be markedly lower.
+        assert smp.y[-1] < up.y[-1]
+        # And the improvement is substantial where UP is saturated.
+        assert smp.y[-1] < 0.7 * up.y[-1] + 1.0

@@ -1,0 +1,70 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+These bound the cost of the hot paths every figure regeneration leans on:
+raw event dispatch, processor-sharing completions, and fluid-link
+transmissions.  Useful for catching performance regressions in the kernel
+(the full figure suite runs ~10^7 events).
+"""
+
+from repro.net import Link
+from repro.osmodel import CPU
+from repro.sim import Simulator
+
+
+def run_timeout_chain(n):
+    sim = Simulator()
+    count = [0]
+
+    def chain():
+        for _ in range(n):
+            yield sim.timeout(0.001)
+            count[0] += 1
+
+    sim.process(chain())
+    sim.run()
+    return count[0]
+
+
+def run_cpu_bursts(n):
+    sim = Simulator()
+    cpu = CPU(sim, nproc=2, smp_efficiency=1.0)
+    done = [0]
+    for i in range(n):
+        sim.call_later(
+            i * 1e-4,
+            lambda: cpu.execute(5e-4).callbacks.append(
+                lambda _e: done.__setitem__(0, done[0] + 1)
+            ),
+        )
+    sim.run()
+    return done[0]
+
+
+def run_link_transmissions(n):
+    sim = Simulator()
+    link = Link(sim, 1e9, 0.0002)
+    done = [0]
+    for _ in range(n):
+        link.transmit(16_384).callbacks.append(
+            lambda _e: done.__setitem__(0, done[0] + 1)
+        )
+    sim.run()
+    return done[0]
+
+
+def test_kernel_event_dispatch(benchmark):
+    n = 20_000
+    result = benchmark(run_timeout_chain, n)
+    assert result == n
+
+
+def test_cpu_processor_sharing_station(benchmark):
+    n = 10_000
+    result = benchmark(run_cpu_bursts, n)
+    assert result == n
+
+
+def test_link_fluid_transmissions(benchmark):
+    n = 20_000
+    result = benchmark(run_link_transmissions, n)
+    assert result == n

@@ -1,0 +1,86 @@
+"""Live benchmark: asyncio event server vs thread-pool server on real sockets.
+
+A miniature of the paper's experiment on genuine TCP: the same docroot
+served by a single-threaded asyncio (NIO-analogue) server and a
+blocking-I/O thread-pool server, driven by the httperf-like load
+generator.  Absolute numbers depend on the host; the point is that the
+event-driven server sustains many concurrent connections with ONE thread
+while the thread-pool server needs a thread per connection.
+"""
+
+import pytest
+
+from repro.live import AsyncioEventServer, DocRoot, ThreadPoolHttpServer, run_load
+
+CLIENTS = 24
+REQUESTS = 12
+
+
+@pytest.fixture(scope="module")
+def docroot():
+    return DocRoot.synthetic(n_files=30)
+
+
+def drive(server, docroot):
+    return run_load(
+        "127.0.0.1",
+        server.port,
+        docroot.paths(),
+        clients=CLIENTS,
+        requests_per_client=REQUESTS,
+    )
+
+
+def test_live_event_server_throughput(benchmark, docroot):
+    server = AsyncioEventServer(docroot)
+    server.start()
+    try:
+        stats = benchmark.pedantic(
+            drive, args=(server, docroot), rounds=1, iterations=1
+        )
+    finally:
+        server.stop()
+    print(
+        f"\n[live] asyncio event server: {stats.throughput_rps:.0f} replies/s, "
+        f"p50={stats.latency_percentile(50) * 1e3:.2f} ms, "
+        f"errors={stats.errors}"
+    )
+    assert stats.errors == 0
+    assert stats.replies == CLIENTS * REQUESTS
+
+
+def test_live_thread_server_throughput(benchmark, docroot):
+    # Pool sized to the concurrency, as the paper sizes httpd pools.
+    server = ThreadPoolHttpServer(docroot, pool_size=CLIENTS)
+    server.start()
+    try:
+        stats = benchmark.pedantic(
+            drive, args=(server, docroot), rounds=1, iterations=1
+        )
+    finally:
+        server.stop()
+    print(
+        f"\n[live] thread-pool server: {stats.throughput_rps:.0f} replies/s, "
+        f"p50={stats.latency_percentile(50) * 1e3:.2f} ms, "
+        f"errors={stats.errors}"
+    )
+    assert stats.errors == 0
+    assert stats.replies == CLIENTS * REQUESTS
+
+
+def test_live_thread_server_underprovisioned_pool(benchmark, docroot):
+    """A pool smaller than the concurrency queues clients (paper fig 4)."""
+    server = ThreadPoolHttpServer(docroot, pool_size=2)
+    server.start()
+    try:
+        stats = benchmark.pedantic(
+            drive, args=(server, docroot), rounds=1, iterations=1
+        )
+    finally:
+        server.stop()
+    print(
+        f"\n[live] thread-pool (2 threads, {CLIENTS} clients): "
+        f"{stats.throughput_rps:.0f} replies/s, "
+        f"p90={stats.latency_percentile(90) * 1e3:.1f} ms"
+    )
+    assert stats.replies + stats.errors * REQUESTS >= CLIENTS * REQUESTS * 0.5

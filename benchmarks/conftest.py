@@ -1,0 +1,50 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+One :class:`FigureRunner` is shared across the whole benchmark session, so
+figures that the paper derives from the same experiments (1/2/3/4, 5/6,
+7/8, 9/10) reuse each other's sweeps instead of re-running them.
+
+Profile selection: set ``REPRO_PROFILE`` to ``quick`` (default),
+``standard`` (the paper's full 60-6000 client range) or ``full`` (long
+measurement windows).  Regenerated series are printed and also written to
+``benchmarks/results/<figure>.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core import FigureRunner, active_profile
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def figure_runner() -> FigureRunner:
+    profile = active_profile(default="quick")
+    print(
+        f"\n[benchmarks] measurement profile: {profile.name} "
+        f"({profile.points} sweep points, duration={profile.duration}s, "
+        f"warmup={profile.warmup}s)"
+    )
+    return FigureRunner(profile=profile, verbose=True)
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print figure tables and persist them under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _emit(name: str, figs) -> None:
+        blocks = [fig.table() for fig in figs]
+        text = "\n\n".join(blocks)
+        print(f"\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        payload = [fig.to_dict() for fig in figs]
+        (RESULTS_DIR / f"{name}.json").write_text(json.dumps(payload, indent=1))
+
+    return _emit

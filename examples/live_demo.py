@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Live demo: the same architectural contrast on real sockets.
+
+Starts a single-threaded asyncio event-driven HTTP server (the NIO
+analogue) and a blocking thread-pool HTTP server on localhost, serves the
+same SURGE-derived docroot from both, and drives them with the
+httperf-like load generator — first with a well-provisioned pool, then
+with an under-provisioned one to show the thread-binding penalty.
+
+Usage::
+
+    python examples/live_demo.py
+"""
+
+from repro.live import (
+    AsyncioEventServer,
+    DocRoot,
+    ThreadPoolHttpServer,
+    run_load,
+)
+
+CLIENTS = 20
+REQUESTS = 15
+
+
+def drive(label: str, server, docroot: DocRoot) -> None:
+    stats = run_load(
+        "127.0.0.1",
+        server.port,
+        docroot.paths(),
+        clients=CLIENTS,
+        requests_per_client=REQUESTS,
+    )
+    print(
+        f"{label:38s} {stats.throughput_rps:8.0f} replies/s | "
+        f"p50 {stats.latency_percentile(50) * 1e3:7.2f} ms | "
+        f"p99 {stats.latency_percentile(99) * 1e3:7.2f} ms | "
+        f"errors {stats.errors}"
+    )
+
+
+def main() -> None:
+    docroot = DocRoot.synthetic(n_files=60)
+    print(
+        f"docroot: {len(docroot)} files, {docroot.total_bytes / 1024:.0f} KB; "
+        f"{CLIENTS} clients x {REQUESTS} requests each\n"
+    )
+
+    event = AsyncioEventServer(docroot)
+    event.start()
+    try:
+        drive("asyncio event-driven (1 thread)", event, docroot)
+    finally:
+        event.stop()
+
+    pool = ThreadPoolHttpServer(docroot, pool_size=CLIENTS)
+    pool.start()
+    try:
+        drive(f"thread pool ({CLIENTS} threads)", pool, docroot)
+    finally:
+        pool.stop()
+
+    starved = ThreadPoolHttpServer(docroot, pool_size=2)
+    starved.start()
+    try:
+        drive("thread pool (2 threads, starved)", starved, docroot)
+    finally:
+        starved.stop()
+
+    print(
+        "\nThe event-driven server multiplexes every connection on ONE\n"
+        "thread; the thread-pool server needs a thread per concurrent\n"
+        "client, and collapses (tail latency) when the pool is smaller\n"
+        "than the concurrency — the paper's figure-4 effect, live."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Quickstart: run one experiment of the paper and read its metrics.
+
+Runs the two contenders — the event-driven ``nio`` server with ONE worker
+thread, and the multithreaded ``httpd`` server with a 4096-thread pool —
+at a moderate load on the uniprocessor / 1 Gbit scenario, and prints
+httperf-style measurements for each.
+
+Usage::
+
+    python examples/quickstart.py [clients]
+"""
+
+import sys
+
+from repro import Experiment, ServerSpec, WorkloadSpec, format_table
+
+
+def main() -> None:
+    clients = int(sys.argv[1]) if len(sys.argv) > 1 else 2400
+
+    rows = []
+    for spec in (ServerSpec.nio(1), ServerSpec.httpd(4096)):
+        print(f"running {spec.label} with {clients} clients ...")
+        metrics = Experiment(
+            server=spec,
+            workload=WorkloadSpec(clients=clients, duration=10.0, warmup=16.0),
+        ).run()
+        row = {"server": spec.label}
+        row.update(metrics.row())
+        rows.append(row)
+
+    print()
+    print(format_table(rows, title=f"UP / 1 Gbit / {clients} clients"))
+    print()
+    print(
+        "Things to notice (the paper's headline contrasts):\n"
+        "  * the nio server does this with 1 worker thread + 1 acceptor;\n"
+        "    httpd needs thousands of threads for the same replies/s;\n"
+        "  * nio never produces connection-reset errors (reset/s column);\n"
+        "  * httpd's mean response time excludes its timeout victims."
+    )
+
+
+if __name__ == "__main__":
+    main()

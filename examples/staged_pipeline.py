@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""The paper's future work: a staged (SEDA-style) pipeline on SMP.
+
+Section 6 proposes dividing the event-driven server into pipelined stages
+with dedicated threads to exploit multiprocessors.  This example runs
+that staged server — plus the Flash-style AMPED variant — against the
+paper's two contenders on the 4-way SMP scenario.
+
+Usage::
+
+    python examples/staged_pipeline.py [clients]
+"""
+
+import sys
+
+from repro import Experiment, ServerSpec, WorkloadSpec, format_table
+from repro.core import SMP_GIGABIT
+
+
+def main() -> None:
+    clients = int(sys.argv[1]) if len(sys.argv) > 1 else 3600
+
+    contenders = (
+        ServerSpec.nio(2),
+        ServerSpec.staged(2),
+        ServerSpec.amped(4),
+        ServerSpec.httpd(4096),
+    )
+    rows = []
+    for spec in contenders:
+        print(f"running {spec.label} on 4-way SMP with {clients} clients ...")
+        metrics = Experiment(
+            server=spec,
+            workload=WorkloadSpec(clients=clients, duration=10.0, warmup=16.0),
+            machine=SMP_GIGABIT.machine,
+            network=SMP_GIGABIT.network,
+        ).run()
+        row = {
+            "server": spec.label,
+            "threads": int(metrics.server_stats["threads_peak"]),
+        }
+        row.update(metrics.row())
+        rows.append(row)
+
+    print()
+    print(format_table(rows, title=f"SMP / 1 Gbit / {clients} clients"))
+    print(
+        "\nThe staged pipeline keeps the event-driven profile (flat\n"
+        "connection time, zero resets) while spreading stages across\n"
+        "processors - the design the paper proposes for application\n"
+        "servers. AMPED shows the Flash alternative: one loop, with\n"
+        "helpers absorbing blocking file I/O."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Validate the simulator against queueing theory, with replication.
+
+A simulation study is only as credible as its validation. This example
+runs the nio server on a scaled-down machine (so it saturates quickly)
+and checks the measurements against results that must hold for any
+correctly-bookkept system:
+
+* the **utilization law** U = X·S/C,
+* the **bandwidth law** MB/s = X·E[transfer],
+* the M/G/1-PS **capacity** prediction C/S against the measured plateau,
+* the closed-system **knee** N* = C(Z+S)/S against where throughput bends,
+
+then replicates one point across seeds to show confidence intervals.
+
+Usage::
+
+    python examples/validation_and_replication.py
+"""
+
+from repro.analysis import (
+    ServiceEstimate,
+    capacity_replies_per_s,
+    knee_client_count,
+    replicate,
+    summarize_replications,
+    validate_run,
+)
+from repro.analysis.stats import DEFAULT_GETTERS
+from repro.core import Experiment, ServerSpec, WorkloadSpec
+from repro.http import FilePopulation, HttpSemantics
+from repro.osmodel import CostModel, MachineSpec
+from repro.sim import RandomStreams
+from repro.workload import SurgeConfig
+
+CPU_SPEED = 0.05  # 5% of the calibrated CPU: saturates at ~150 replies/s
+SEM = HttpSemantics()
+
+
+def run(clients: int, seed: int = 42):
+    return Experiment(
+        server=ServerSpec.nio(1),
+        workload=WorkloadSpec(
+            clients=clients, duration=12.0, warmup=16.0, n_files=200
+        ),
+        machine=MachineSpec(cpus=1, cpu_speed=CPU_SPEED),
+        seed=seed,
+    ).run()
+
+
+def main() -> None:
+    costs = CostModel().scaled(1.0 / CPU_SPEED).scaled(1.05)  # machine + JVM
+    population = FilePopulation(RandomStreams(42).stream("files"), n_files=200)
+    mean_transfer = population.mean_transfer_size() + SEM.response_head_bytes
+    service = ServiceEstimate.for_event_driven(costs, SEM, 16_000)
+
+    print("analytic predictions:")
+    print(f"  service demand     S  = {service.cpu_seconds * 1e3:.2f} ms")
+    print(f"  capacity         C/S  = {capacity_replies_per_s(service):.0f} replies/s")
+    think = SurgeConfig().think_distribution().mean()
+    knee = knee_client_count(service, think)
+    print(f"  saturation knee   N*  ~ {knee:.0f} clients (Z={think:.2f}s)\n")
+
+    for clients in (40, 120, 320):
+        metrics = run(clients)
+        print(
+            f"clients={clients:4d}: X={metrics.throughput_rps:7.1f} r/s "
+            f"U={metrics.cpu_utilization * 100:5.1f}% "
+            f"R={metrics.response_time_mean * 1e3:8.2f} ms"
+        )
+        for check in validate_run(metrics, service, 1.0, mean_transfer):
+            print(f"    {check}")
+    print()
+
+    print("replication across 4 seeds (120 clients):")
+    reps = replicate(
+        lambda seed: run(120, seed=seed), seeds=range(4), getters=DEFAULT_GETTERS
+    )
+    print(summarize_replications(reps))
+
+
+if __name__ == "__main__":
+    main()

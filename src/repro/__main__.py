@@ -1,0 +1,187 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+run      one experiment (server x machine x network x clients)
+sweep    a client-count sweep for one server configuration
+figure   regenerate one paper figure (1-10) and print its tables
+profiles list the available measurement profiles
+
+Examples
+--------
+::
+
+    python -m repro run --server nio --threads 1 --clients 2400
+    python -m repro run --server httpd --threads 4096 --cpus 4
+    python -m repro sweep --server nio --threads 2 --cpus 4
+    python -m repro figure 3 --profile quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import (
+    PROFILES,
+    FigureRunner,
+    Scenario,
+    ServerSpec,
+    WorkloadSpec,
+    sweep_clients,
+)
+from .core.experiment import Experiment
+from .net import NetworkSpec
+from .osmodel import MachineSpec
+
+_NETWORKS = {
+    "100m": NetworkSpec.fast_ethernet,
+    "200m": NetworkSpec.dual_fast_ethernet,
+    "1g": NetworkSpec.gigabit,
+}
+
+
+def _server_spec(args: argparse.Namespace) -> ServerSpec:
+    return ServerSpec(
+        kind=args.server,
+        threads=args.threads,
+        idle_timeout=args.idle_timeout,
+        jvm_factor=args.jvm_factor,
+        dynamic_pool=args.dynamic_pool,
+        selector_strategy=args.selector_strategy,
+    )
+
+
+def _scenario(args: argparse.Namespace) -> Scenario:
+    machine = MachineSpec(cpus=args.cpus, cpu_speed=args.cpu_speed)
+    network = _NETWORKS[args.network]()
+    return Scenario(f"{args.cpus}cpu-{args.network}", machine, network)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--server", choices=("nio", "httpd", "staged", "amped"), default="nio"
+    )
+    parser.add_argument("--threads", type=int, default=1,
+                        help="workers (nio/staged) or pool size (httpd)")
+    parser.add_argument("--idle-timeout", type=float, default=15.0)
+    parser.add_argument("--jvm-factor", type=float, default=1.05)
+    parser.add_argument("--dynamic-pool", action="store_true",
+                        help="httpd: manage the pool dynamically")
+    parser.add_argument("--selector-strategy",
+                        choices=("shared", "partitioned"), default="shared",
+                        help="nio: selector sharing strategy")
+    parser.add_argument("--cpus", type=int, default=1)
+    parser.add_argument("--cpu-speed", type=float, default=1.0)
+    parser.add_argument("--network", choices=sorted(_NETWORKS), default="1g")
+    parser.add_argument("--duration", type=float, default=10.0)
+    parser.add_argument("--warmup", type=float, default=16.0)
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    scenario = _scenario(args)
+    metrics = Experiment(
+        server=_server_spec(args),
+        workload=WorkloadSpec(
+            clients=args.clients, duration=args.duration, warmup=args.warmup
+        ),
+        machine=scenario.machine,
+        network=scenario.network,
+        seed=args.seed,
+    ).run()
+    for key, value in metrics.row().items():
+        print(f"{key:>12s}: {value}")
+    if args.stats:
+        for key, value in sorted(metrics.server_stats.items()):
+            print(f"{key:>24s}: {value}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    scenario = _scenario(args)
+    clients = [int(c) for c in args.clients.split(",")]
+    result = sweep_clients(
+        _server_spec(args),
+        scenario,
+        clients,
+        duration=args.duration,
+        warmup=args.warmup,
+        seed=args.seed,
+    )
+    print(result.table())
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    if not 1 <= args.number <= 10:
+        print("figure number must be 1-10", file=sys.stderr)
+        return 2
+    runner = FigureRunner(profile=PROFILES[args.profile], verbose=True)
+    figs = getattr(runner, f"figure_{args.number}")()
+    for fig in figs:
+        print()
+        print(fig.table())
+        if args.chart:
+            print()
+            print(fig.chart(logy=args.logy))
+    return 0
+
+
+def cmd_profiles(_args: argparse.Namespace) -> int:
+    for name, profile in PROFILES.items():
+        print(
+            f"{name:>9s}: {profile.points} points over "
+            f"{profile.clients[0]}-{profile.clients[-1]} clients, "
+            f"duration={profile.duration}s warmup={profile.warmup}s"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction toolkit for 'Evaluating the Scalability of "
+            "Java Event-Driven Web Servers' (ICPP 2004)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    _add_common(p_run)
+    p_run.add_argument("--clients", type=int, default=2400)
+    p_run.add_argument("--stats", action="store_true",
+                       help="also print server-side counters")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="sweep client counts")
+    _add_common(p_sweep)
+    p_sweep.add_argument(
+        "--clients", default="60,1200,2400,3600,4800,6000",
+        help="comma-separated client counts",
+    )
+    p_sweep.set_defaults(fn=cmd_sweep)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument("number", type=int, help="paper figure number (1-10)")
+    p_fig.add_argument("--profile", choices=sorted(PROFILES), default="quick")
+    p_fig.add_argument("--chart", action="store_true",
+                       help="also render ASCII charts")
+    p_fig.add_argument("--logy", action="store_true",
+                       help="log-scale chart y-axis")
+    p_fig.set_defaults(fn=cmd_figure)
+
+    p_prof = sub.add_parser("profiles", help="list measurement profiles")
+    p_prof.set_defaults(fn=cmd_profiles)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Operational-law validation of simulation runs.
+
+Operational laws hold for *any* measured system — simulated or real — so
+they are the cheapest strong check that the simulator's bookkeeping is
+self-consistent:
+
+* **Utilization law**: ``U = X * S / C`` — CPU utilisation equals
+  throughput times per-request demand over capacity.
+* **Bandwidth law**: ``MB/s = X * E[transfer]`` — network usage equals
+  throughput times mean transfer size (the paper's "linear relation
+  between achieved throughput and required bandwidth").
+* **Little's law**: ``N = X * R`` — the mean number of in-flight
+  requests implied by throughput and response time must be sane
+  (bounded by the client population).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..metrics.report import RunMetrics
+from .queueing import ServiceEstimate
+
+__all__ = ["LawCheck", "utilization_law", "bandwidth_law", "littles_law", "validate_run"]
+
+
+@dataclass(frozen=True)
+class LawCheck:
+    """Outcome of one operational-law check."""
+
+    name: str
+    predicted: float
+    observed: float
+
+    @property
+    def ratio(self) -> float:
+        if self.predicted == 0:
+            return 0.0 if self.observed == 0 else float("inf")
+        return self.observed / self.predicted
+
+    def holds(self, tolerance: float = 0.25) -> bool:
+        """True when observed is within ``tolerance`` of predicted."""
+        return abs(self.ratio - 1.0) <= tolerance
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: predicted={self.predicted:.3f} "
+            f"observed={self.observed:.3f} (ratio {self.ratio:.2f})"
+        )
+
+
+def utilization_law(
+    metrics: RunMetrics, service: ServiceEstimate, capacity: float
+) -> LawCheck:
+    """U = X * S / C, valid below saturation."""
+    predicted = min(1.0, metrics.throughput_rps * service.cpu_seconds / capacity)
+    return LawCheck("utilization-law", predicted, metrics.cpu_utilization)
+
+
+def bandwidth_law(metrics: RunMetrics, mean_transfer_bytes: float) -> LawCheck:
+    """MB/s = X * E[transfer bytes]."""
+    predicted = metrics.throughput_rps * mean_transfer_bytes / 1e6
+    return LawCheck("bandwidth-law", predicted, metrics.bandwidth_mbytes_per_s)
+
+
+def littles_law(metrics: RunMetrics) -> LawCheck:
+    """N = X * R must not exceed the client population."""
+    in_flight = metrics.throughput_rps * metrics.response_time_mean
+    return LawCheck("littles-law-bound", float(metrics.clients), in_flight)
+
+
+def validate_run(
+    metrics: RunMetrics,
+    service: ServiceEstimate,
+    capacity: float,
+    mean_transfer_bytes: float,
+) -> List[LawCheck]:
+    """All checks for one run (Little's bound is informational)."""
+    return [
+        utilization_law(metrics, service, capacity),
+        bandwidth_law(metrics, mean_transfer_bytes),
+        littles_law(metrics),
+    ]

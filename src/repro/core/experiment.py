@@ -1,0 +1,167 @@
+"""The Experiment: one server + network + workload -> one RunMetrics.
+
+This is the unit every figure of the paper is built from: pick a server
+configuration, a machine (UP or 4-way SMP), a network (100 Mbit, 2x100
+Mbit or 1 Gbit) and a client count, run to steady state, and report
+httperf-style metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..http.files import FilePopulation
+from ..metrics.collectors import MetricsHub
+from ..metrics.report import RunMetrics
+from ..net.tcp import ListenSocket
+from ..net.topology import Network, NetworkSpec
+from ..osmodel.machine import Machine, MachineSpec
+from ..servers.base import Server
+from ..sim.core import Simulator
+from ..sim.rng import RandomStreams
+from ..workload.httperf import LoadGenerator
+from ..workload.surge import SurgeWorkload
+from .params import ServerSpec, WorkloadSpec
+
+__all__ = ["Experiment", "build_server"]
+
+
+def build_server(
+    spec: ServerSpec,
+    sim: Simulator,
+    machine: Machine,
+    listener: ListenSocket,
+) -> Server:
+    """Instantiate the requested server architecture."""
+    # Imported here so optional architectures stay decoupled.
+    from ..http.protocol import HttpSemantics
+    from ..servers.eventdriven import EventDrivenServer
+    from ..servers.threadpool import ThreadPoolServer
+
+    costs = machine.spec.base_costs()
+    semantics = HttpSemantics(keep_alive=spec.keep_alive)
+    if spec.kind == "nio":
+        return EventDrivenServer(
+            sim, machine, listener,
+            workers=spec.threads, jvm_factor=spec.jvm_factor, costs=costs,
+            selector_strategy=spec.selector_strategy, semantics=semantics,
+        )
+    if spec.kind == "httpd":
+        return ThreadPoolServer(
+            sim, machine, listener,
+            pool_size=spec.threads, idle_timeout=spec.idle_timeout,
+            costs=costs, dynamic=spec.dynamic_pool, semantics=semantics,
+        )
+    if spec.kind == "staged":
+        from ..servers.staged import StagedServer
+
+        return StagedServer(
+            sim, machine, listener,
+            threads_per_stage=spec.threads, jvm_factor=spec.jvm_factor,
+            costs=costs, semantics=semantics,
+        )
+    if spec.kind == "amped":
+        from ..servers.amped import AmpedServer
+
+        return AmpedServer(
+            sim, machine, listener, helpers=spec.helpers, costs=costs,
+            semantics=semantics,
+        )
+    raise ValueError(f"unknown server kind {spec.kind!r}")
+
+
+@dataclass
+class Experiment:
+    """A fully specified run; ``run()`` is deterministic for a seed."""
+
+    server: ServerSpec
+    workload: WorkloadSpec
+    machine: MachineSpec = MachineSpec(cpus=1)
+    network: NetworkSpec = None  # type: ignore[assignment]
+    seed: int = 42
+    #: Trace categories to record ("conn", "http", "error", "server");
+    #: an empty tuple/None disables tracing.  After run(), the recorder
+    #: is available as ``self.tracer``.
+    trace: Optional[tuple] = None
+
+    def __post_init__(self) -> None:
+        if self.network is None:
+            self.network = NetworkSpec.gigabit()
+        self.tracer = None
+
+    def run(self) -> RunMetrics:
+        """Build the testbed, run to steady state, return the measurements."""
+        sim = Simulator()
+        streams = RandomStreams(self.seed)
+        machine = Machine(sim, self.machine)
+        if self.trace:
+            from ..sim.trace import Tracer
+
+            self.tracer = Tracer(sim, categories=self.trace)
+        listener = ListenSocket(
+            sim,
+            machine,
+            costs=self.machine.base_costs(),
+            backlog=self.server.backlog,
+            tracer=self.tracer,
+        )
+        network = Network(sim, self.network)
+
+        files = FilePopulation(
+            streams.stream("files"), n_files=self.workload.n_files
+        )
+        surge = SurgeWorkload(files, self.workload.surge)
+        metrics = MetricsHub(
+            sim, warmup=self.workload.warmup, duration=self.workload.duration
+        )
+
+        server = build_server(self.server, sim, machine, listener)
+        server.start()
+
+        generator = LoadGenerator(
+            sim,
+            listener,
+            network,
+            surge,
+            metrics,
+            n_clients=self.workload.clients,
+            streams=streams,
+            config=self.workload.httperf,
+        )
+        generator.start(ramp=self.workload.effective_ramp)
+
+        # Snapshot CPU busy-time at the window edges for utilisation.
+        busy_at_start = [0.0]
+
+        def snap() -> None:
+            machine.cpu._sync()
+            busy_at_start[0] = machine.cpu.busy_time
+
+        sim.call_later(self.workload.warmup, snap)
+        end = self.workload.warmup + self.workload.duration
+        sim.run(until=end)
+
+        machine.cpu._sync()
+        busy = machine.cpu.busy_time - busy_at_start[0]
+        cpu_util = busy / (
+            self.workload.duration * machine.cpu.base_capacity
+        )
+        stats = server.stats()
+        stats["downlink_utilization"] = round(
+            network.downlink_utilization(end), 4
+        )
+        return RunMetrics.from_hub(
+            metrics,
+            clients=self.workload.clients,
+            cpu_utilization=min(1.0, cpu_util),
+            server_stats=stats,
+        )
+
+    # -- convenience ---------------------------------------------------------
+    def describe(self) -> str:
+        """One-line human-readable summary of the configuration."""
+        return (
+            f"{self.server.label} | {self.machine.cpus} cpu | "
+            f"{self.network.name} | {self.workload.clients} clients"
+        )

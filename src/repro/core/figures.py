@@ -1,0 +1,535 @@
+"""Regeneration of every figure in the paper's evaluation.
+
+Each ``figure_N`` method reproduces the data behind paper figure N (the
+paper's evaluation is entirely figures; there are no numeric tables).
+Runs are cached by (server, scenario, sweep profile), so e.g. figure 2
+reuses figure 1's runs and figures 3-4 reuse the best-configuration
+subsets — exactly as the paper derives them from the same experiments.
+
+Use :class:`FigureRunner` directly, or the per-figure benchmarks in
+``benchmarks/`` which print the series as tables.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..metrics.report import RunMetrics, format_table
+from ..osmodel.machine import MachineSpec
+from .params import (
+    HTTPD_SMP_POOLS,
+    HTTPD_UP_POOLS,
+    NIO_SMP_WORKERS,
+    NIO_UP_WORKERS,
+    ServerSpec,
+)
+from .scenarios import (
+    SMP_GIGABIT,
+    UP_DUAL_FAST_ETHERNET,
+    UP_FAST_ETHERNET,
+    UP_GIGABIT,
+    MeasurementProfile,
+    Scenario,
+    active_profile,
+)
+from .sweep import SweepResult, sweep_clients
+
+__all__ = ["Series", "FigureData", "FigureRunner", "PAPER_FIGURES"]
+
+
+# -- metric getters ----------------------------------------------------------
+
+def _throughput(m: RunMetrics) -> float:
+    return m.throughput_rps
+
+
+def _response_ms(m: RunMetrics) -> float:
+    return m.response_time_mean * 1e3
+
+
+def _connection_ms(m: RunMetrics) -> float:
+    return m.connection_time_mean * 1e3
+
+
+def _timeout_rate(m: RunMetrics) -> float:
+    return m.client_timeout_rate
+
+
+def _reset_rate(m: RunMetrics) -> float:
+    return m.connection_reset_rate
+
+
+@dataclass
+class Series:
+    """One line of a figure."""
+
+    label: str
+    x: List[int]
+    y: List[float]
+
+
+@dataclass
+class FigureData:
+    """The data behind one (sub)figure of the paper."""
+
+    figure_id: str
+    title: str
+    xlabel: str
+    ylabel: str
+    series: List[Series] = field(default_factory=list)
+    notes: str = ""
+
+    def table(self) -> str:
+        """Side-by-side table: clients vs every series."""
+        if not self.series:
+            return f"{self.figure_id}: (no data)"
+        rows = []
+        xs = self.series[0].x
+        for i, x in enumerate(xs):
+            row: Dict[str, object] = {"clients": x}
+            for s in self.series:
+                row[s.label] = round(s.y[i], 2) if i < len(s.y) else ""
+            rows.append(row)
+        title = f"[{self.figure_id}] {self.title} ({self.ylabel})"
+        out = format_table(rows, title=title)
+        if self.notes:
+            out += f"\n  note: {self.notes}"
+        return out
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable representation of the figure."""
+        return {
+            "figure_id": self.figure_id,
+            "title": self.title,
+            "xlabel": self.xlabel,
+            "ylabel": self.ylabel,
+            "notes": self.notes,
+            "series": [
+                {"label": s.label, "x": list(s.x), "y": list(s.y)}
+                for s in self.series
+            ],
+        }
+
+    @staticmethod
+    def from_dict(data: Dict) -> "FigureData":
+        """Inverse of :meth:`to_dict`."""
+        return FigureData(
+            figure_id=data["figure_id"],
+            title=data["title"],
+            xlabel=data["xlabel"],
+            ylabel=data["ylabel"],
+            notes=data.get("notes", ""),
+            series=[
+                Series(s["label"], list(s["x"]), list(s["y"]))
+                for s in data["series"]
+            ],
+        )
+
+    def chart(self, logy: bool = False, width: int = 68, height: int = 16) -> str:
+        """ASCII line chart of the figure (see repro.metrics.plot)."""
+        from ..metrics.plot import ascii_chart
+
+        return ascii_chart(
+            [(s.label, s.x, s.y) for s in self.series],
+            width=width,
+            height=height,
+            logy=logy,
+            title=f"[{self.figure_id}] {self.title}",
+            xlabel=self.xlabel,
+            ylabel=self.ylabel,
+        )
+
+
+class FigureRunner:
+    """Runs and caches the sweeps behind all paper figures."""
+
+    def __init__(
+        self,
+        profile: Optional[MeasurementProfile] = None,
+        seed: int = 42,
+        verbose: bool = False,
+    ) -> None:
+        self.profile = profile or active_profile()
+        self.seed = seed
+        self.verbose = verbose
+        self._cache: Dict[Tuple[str, str], SweepResult] = {}
+
+    # -- sweep plumbing ------------------------------------------------------
+    def sweep(self, server: ServerSpec, scenario: Scenario) -> SweepResult:
+        """Cached client sweep of ``server`` in ``scenario``."""
+        key = (repr(server), scenario.name)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if self.verbose:
+            print(
+                f"[figures] sweeping {server.label} on {scenario.name} "
+                f"({self.profile.points} points)...",
+                file=sys.stderr,
+            )
+        result = sweep_clients(
+            server,
+            scenario,
+            self.profile.clients,
+            duration=self.profile.duration,
+            warmup=self.profile.warmup,
+            seed=self.seed,
+            point_hook=self._progress if self.verbose else None,
+        )
+        self._cache[key] = result
+        return result
+
+    def _progress(self, metrics: RunMetrics) -> None:
+        print(
+            f"[figures]   clients={metrics.clients:5d} "
+            f"replies/s={metrics.throughput_rps:8.1f}",
+            file=sys.stderr,
+        )
+
+    def _series(
+        self,
+        configs: List[Tuple[ServerSpec, Scenario, str]],
+        metric: Callable[[RunMetrics], float],
+    ) -> List[Series]:
+        out = []
+        for server, scenario, label in configs:
+            sweep = self.sweep(server, scenario)
+            out.append(Series(label, sweep.clients, sweep.metric(metric)))
+        return out
+
+    # -- paper figures ------------------------------------------------------
+    def figure_1(self) -> List[FigureData]:
+        """Throughput comparison on a uniprocessor (UP) system."""
+        nio = [
+            (ServerSpec.nio(w), UP_GIGABIT, f"{w} thread{'s' if w > 1 else ''}")
+            for w in NIO_UP_WORKERS
+        ]
+        httpd = [
+            (ServerSpec.httpd(p), UP_GIGABIT, f"{p} threads")
+            for p in HTTPD_UP_POOLS
+        ]
+        return [
+            FigureData(
+                "fig1a", "NIO UP throughput", "clients", "replies/s",
+                self._series(nio, _throughput),
+            ),
+            FigureData(
+                "fig1b", "Httpd UP throughput", "clients", "replies/s",
+                self._series(httpd, _throughput),
+            ),
+        ]
+
+    def figure_2(self) -> List[FigureData]:
+        """Response-time comparison on a uniprocessor (UP) system."""
+        nio = [
+            (ServerSpec.nio(w), UP_GIGABIT, f"{w} thread{'s' if w > 1 else ''}")
+            for w in NIO_UP_WORKERS
+        ]
+        httpd = [
+            (ServerSpec.httpd(p), UP_GIGABIT, f"{p} threads")
+            for p in HTTPD_UP_POOLS
+        ]
+        note = (
+            "httpd means exclude timed-out/reset victims "
+            "(httperf semantics), hence the deceptively low values"
+        )
+        return [
+            FigureData(
+                "fig2a", "NIO UP response time", "clients", "ms",
+                self._series(nio, _response_ms),
+            ),
+            FigureData(
+                "fig2b", "Httpd UP response time", "clients", "ms",
+                self._series(httpd, _response_ms), notes=note,
+            ),
+        ]
+
+    def figure_3(self) -> List[FigureData]:
+        """Connection errors (client timeouts and resets), best configs."""
+        configs = [
+            (ServerSpec.nio(1), UP_GIGABIT, "nio"),
+            (ServerSpec.httpd(4096), UP_GIGABIT, "httpd"),
+        ]
+        return [
+            FigureData(
+                "fig3a", "Client timeout errors", "clients", "errors/s",
+                self._series(configs, _timeout_rate),
+            ),
+            FigureData(
+                "fig3b", "Connection reset errors", "clients", "errors/s",
+                self._series(configs, _reset_rate),
+                notes="nio never idle-reaps, so its reset rate is zero",
+            ),
+        ]
+
+    def figure_4(self) -> List[FigureData]:
+        """Connection time for the best nio and several httpd pools."""
+        configs = [
+            (ServerSpec.nio(1), UP_GIGABIT, "NIO 1 thread"),
+            (ServerSpec.httpd(896), UP_GIGABIT, "httpd 896 threads"),
+            (ServerSpec.httpd(4096), UP_GIGABIT, "httpd 4096 threads"),
+            (ServerSpec.httpd(6000), UP_GIGABIT, "httpd 6000 threads"),
+        ]
+        return [
+            FigureData(
+                "fig4", "NIO vs httpd UP connection time", "clients", "ms",
+                self._series(configs, _connection_ms),
+            )
+        ]
+
+    def figure_5(self) -> List[FigureData]:
+        """Throughput under 100 Mbit / 200 Mbit / 1 Gbit (best configs)."""
+        configs = [
+            (ServerSpec.nio(1), UP_FAST_ETHERNET, "NIO 100Mbps"),
+            (ServerSpec.httpd(4096), UP_FAST_ETHERNET, "Httpd 100Mbps"),
+            (ServerSpec.nio(1), UP_DUAL_FAST_ETHERNET, "NIO 200Mbps"),
+            (ServerSpec.httpd(4096), UP_DUAL_FAST_ETHERNET, "Httpd 200Mbps"),
+            (ServerSpec.nio(1), UP_GIGABIT, "NIO 1Gbit"),
+            (ServerSpec.httpd(4096), UP_GIGABIT, "Httpd 1Gbit"),
+        ]
+        return [
+            FigureData(
+                "fig5", "NIO vs Httpd throughput (UP)", "clients", "replies/s",
+                self._series(configs, _throughput),
+            )
+        ]
+
+    def figure_6(self) -> List[FigureData]:
+        """Response time under the three network configurations."""
+        configs = [
+            (ServerSpec.nio(1), UP_FAST_ETHERNET, "NIO 100Mbps"),
+            (ServerSpec.httpd(4096), UP_FAST_ETHERNET, "Httpd 100Mbps"),
+            (ServerSpec.nio(1), UP_DUAL_FAST_ETHERNET, "NIO 200Mbps"),
+            (ServerSpec.httpd(4096), UP_DUAL_FAST_ETHERNET, "Httpd 200Mbps"),
+            (ServerSpec.nio(1), UP_GIGABIT, "NIO 1Gbit"),
+            (ServerSpec.httpd(4096), UP_GIGABIT, "Httpd 1Gbit"),
+        ]
+        return [
+            FigureData(
+                "fig6", "NIO vs Httpd response time (UP)", "clients", "ms",
+                self._series(configs, _response_ms),
+            )
+        ]
+
+    def figure_7(self) -> List[FigureData]:
+        """Throughput comparison on the 4-way SMP system."""
+        nio = [
+            (ServerSpec.nio(w), SMP_GIGABIT, f"{w} threads")
+            for w in NIO_SMP_WORKERS
+        ]
+        httpd = [
+            (ServerSpec.httpd(p), SMP_GIGABIT, f"{p} threads")
+            for p in HTTPD_SMP_POOLS
+        ]
+        return [
+            FigureData(
+                "fig7a", "NIO SMP throughput", "clients", "replies/s",
+                self._series(nio, _throughput),
+            ),
+            FigureData(
+                "fig7b", "Httpd SMP throughput", "clients", "replies/s",
+                self._series(httpd, _throughput),
+            ),
+        ]
+
+    def figure_8(self) -> List[FigureData]:
+        """Response-time comparison on the 4-way SMP system."""
+        nio = [
+            (ServerSpec.nio(w), SMP_GIGABIT, f"{w} threads")
+            for w in NIO_SMP_WORKERS
+        ]
+        httpd = [
+            (ServerSpec.httpd(p), SMP_GIGABIT, f"{p} threads")
+            for p in HTTPD_SMP_POOLS
+        ]
+        return [
+            FigureData(
+                "fig8a", "NIO SMP response time", "clients", "ms",
+                self._series(nio, _response_ms),
+            ),
+            FigureData(
+                "fig8b", "Httpd SMP response time", "clients", "ms",
+                self._series(httpd, _response_ms),
+            ),
+        ]
+
+    def figure_9(self) -> List[FigureData]:
+        """Throughput scalability from 1 to 4 CPUs (best configs)."""
+        nio = [
+            (ServerSpec.nio(1), UP_GIGABIT, "UP"),
+            (ServerSpec.nio(2), SMP_GIGABIT, "SMP"),
+        ]
+        httpd = [
+            (ServerSpec.httpd(4096), UP_GIGABIT, "UP"),
+            (ServerSpec.httpd(4096), SMP_GIGABIT, "SMP"),
+        ]
+        return [
+            FigureData(
+                "fig9a", "NIO throughput 1->4 CPUs", "clients", "replies/s",
+                self._series(nio, _throughput),
+            ),
+            FigureData(
+                "fig9b", "Httpd throughput 1->4 CPUs", "clients", "replies/s",
+                self._series(httpd, _throughput),
+            ),
+        ]
+
+    def figure_10(self) -> List[FigureData]:
+        """Response-time scalability from 1 to 4 CPUs (best configs)."""
+        nio = [
+            (ServerSpec.nio(1), UP_GIGABIT, "UP"),
+            (ServerSpec.nio(2), SMP_GIGABIT, "SMP"),
+        ]
+        httpd = [
+            (ServerSpec.httpd(4096), UP_GIGABIT, "UP"),
+            (ServerSpec.httpd(4096), SMP_GIGABIT, "SMP"),
+        ]
+        return [
+            FigureData(
+                "fig10a", "NIO response time 1->4 CPUs", "clients", "ms",
+                self._series(nio, _response_ms),
+            ),
+            FigureData(
+                "fig10b", "Httpd response time 1->4 CPUs", "clients", "ms",
+                self._series(httpd, _response_ms),
+            ),
+        ]
+
+    # -- ablations and extensions ---------------------------------------------
+    def ablation_thread_overhead(self) -> List[FigureData]:
+        """A1: throughput of big pools with management overhead disabled."""
+        no_overhead = Scenario(
+            "UP-1G-noOvh",
+            MachineSpec(cpus=1, mgmt_overhead_per_thread=0.0),
+            UP_GIGABIT.network,
+        )
+        configs = [
+            (ServerSpec.httpd(4096), UP_GIGABIT, "4096t"),
+            (ServerSpec.httpd(6000), UP_GIGABIT, "6000t"),
+            (ServerSpec.httpd(4096), no_overhead, "4096t no-ovh"),
+            (ServerSpec.httpd(6000), no_overhead, "6000t no-ovh"),
+        ]
+        return [
+            FigureData(
+                "ablA1", "Thread-management overhead ablation",
+                "clients", "replies/s",
+                self._series(configs, _throughput),
+                notes="removing per-thread overhead recovers big-pool peak",
+            )
+        ]
+
+    def ablation_idle_timeout(self) -> List[FigureData]:
+        """A2: reset-error rate vs the server's idle-timeout setting."""
+        configs = [
+            (ServerSpec.httpd(4096, idle_timeout=t), UP_GIGABIT, f"{label}")
+            for t, label in (
+                (5.0, "timeout 5s"),
+                (15.0, "timeout 15s"),
+                (60.0, "timeout 60s"),
+                (1e9, "timeout inf"),
+            )
+        ]
+        return [
+            FigureData(
+                "ablA2", "Idle-timeout ablation (httpd 4096)",
+                "clients", "resets/s",
+                self._series(configs, _reset_rate),
+                notes="longer idle timeouts trade resets for held threads",
+            )
+        ]
+
+    def ablation_selector_strategy(self) -> List[FigureData]:
+        """A4: shared selector (the paper's nio) vs per-worker selectors."""
+        shared = ServerSpec("nio", 2, selector_strategy="shared")
+        partitioned = ServerSpec("nio", 2, selector_strategy="partitioned")
+        configs = [
+            (shared, SMP_GIGABIT, "shared selector"),
+            (partitioned, SMP_GIGABIT, "partitioned selectors"),
+        ]
+        return [
+            FigureData(
+                "ablA4", "Selector strategy (nio 2w, SMP)",
+                "clients", "replies/s",
+                self._series(configs, _throughput),
+                notes="Netty-style per-worker selectors vs the paper's "
+                      "shared ready set",
+            )
+        ]
+
+    def ablation_dynamic_pool(self) -> List[FigureData]:
+        """A5: Apache Min/MaxSpareThreads dynamic pool vs static pool."""
+        static = ServerSpec.httpd(4096)
+        dynamic = ServerSpec("httpd", 4096, dynamic_pool=True)
+        configs = [
+            (static, UP_GIGABIT, "static 4096"),
+            (dynamic, UP_GIGABIT, "dynamic (max 4096)"),
+        ]
+        return [
+            FigureData(
+                "ablA5", "Dynamic vs static thread pool (httpd)",
+                "clients", "replies/s",
+                self._series(configs, _throughput),
+                notes="dynamic pools only pay thread overhead for threads "
+                      "the load actually needs",
+            )
+        ]
+
+    def extension_bandwidth_usage(self) -> List[FigureData]:
+        """Extended-report figure: bandwidth used by the best configs.
+
+        The paper states a linear relation between achieved throughput and
+        bandwidth, with usage always under 40 MB/s on the 1 Gbit link.
+        """
+        configs = [
+            (ServerSpec.nio(1), UP_GIGABIT, "nio MB/s"),
+            (ServerSpec.httpd(4096), UP_GIGABIT, "httpd MB/s"),
+        ]
+        return [
+            FigureData(
+                "extBW", "Bandwidth usage (UP, 1 Gbit)",
+                "clients", "MB/s",
+                self._series(
+                    configs, lambda m: m.bandwidth_mbytes_per_s
+                ),
+                notes="paper: always under 40 MB/s, linear in replies/s",
+            )
+        ]
+
+    def extension_staged_smp(self) -> List[FigureData]:
+        """A3: staged (SEDA) pipeline vs nio vs httpd on the SMP system."""
+        configs = [
+            (ServerSpec.nio(2), SMP_GIGABIT, "nio-2w"),
+            (ServerSpec.staged(2), SMP_GIGABIT, "staged-2w"),
+            (ServerSpec.amped(4), SMP_GIGABIT, "amped-4h"),
+            (ServerSpec.httpd(4096), SMP_GIGABIT, "httpd-4096t"),
+        ]
+        return [
+            FigureData(
+                "extA3", "Staged/AMPED extension on SMP",
+                "clients", "replies/s",
+                self._series(configs, _throughput),
+                notes="the paper's future-work pipeline, plus Flash AMPED",
+            )
+        ]
+
+    # -- everything ---------------------------------------------------------
+    def all_figures(self) -> Dict[str, List[FigureData]]:
+        """Every paper figure (1-10) in order."""
+        return {
+            "figure_1": self.figure_1(),
+            "figure_2": self.figure_2(),
+            "figure_3": self.figure_3(),
+            "figure_4": self.figure_4(),
+            "figure_5": self.figure_5(),
+            "figure_6": self.figure_6(),
+            "figure_7": self.figure_7(),
+            "figure_8": self.figure_8(),
+            "figure_9": self.figure_9(),
+            "figure_10": self.figure_10(),
+        }
+
+
+#: Names of the paper-figure generator methods, for discovery/tests.
+PAPER_FIGURES = tuple(f"figure_{i}" for i in range(1, 11))

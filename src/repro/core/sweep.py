@@ -1,0 +1,99 @@
+"""Client-count sweeps: one server configuration across workload intensity."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..metrics.report import RunMetrics, format_table
+from .experiment import Experiment
+from .params import ServerSpec, WorkloadSpec
+from .scenarios import Scenario
+
+__all__ = ["SweepResult", "sweep_clients"]
+
+
+@dataclass
+class SweepResult:
+    """Metrics of one server config across a range of client counts."""
+
+    label: str
+    scenario: str
+    points: List[RunMetrics] = field(default_factory=list)
+
+    # -- column accessors ---------------------------------------------------
+    @property
+    def clients(self) -> List[int]:
+        return [p.clients for p in self.points]
+
+    @property
+    def throughputs(self) -> List[float]:
+        return [p.throughput_rps for p in self.points]
+
+    @property
+    def response_times_ms(self) -> List[float]:
+        return [p.response_time_mean * 1e3 for p in self.points]
+
+    @property
+    def connection_times_ms(self) -> List[float]:
+        return [p.connection_time_mean * 1e3 for p in self.points]
+
+    @property
+    def client_timeout_rates(self) -> List[float]:
+        return [p.client_timeout_rate for p in self.points]
+
+    @property
+    def connection_reset_rates(self) -> List[float]:
+        return [p.connection_reset_rate for p in self.points]
+
+    @property
+    def peak_throughput(self) -> float:
+        return max(self.throughputs) if self.points else 0.0
+
+    def metric(self, getter: Callable[[RunMetrics], float]) -> List[float]:
+        """Extract one column via a RunMetrics getter."""
+        return [getter(p) for p in self.points]
+
+    def table(self) -> str:
+        """Plain-text table of the sweep (one row per client count)."""
+        return format_table(
+            [p.row() for p in self.points],
+            title=f"{self.label} @ {self.scenario}",
+        )
+
+
+def sweep_clients(
+    server: ServerSpec,
+    scenario: Scenario,
+    client_counts: Sequence[int],
+    duration: float = 12.0,
+    warmup: float = 16.0,
+    seed: int = 42,
+    workload_overrides: Optional[Dict] = None,
+    point_hook: Optional[Callable[[RunMetrics], None]] = None,
+) -> SweepResult:
+    """Run ``server`` in ``scenario`` at each client count.
+
+    ``workload_overrides`` is forwarded into :class:`WorkloadSpec` (e.g.
+    a custom ``surge`` config for ablations).  ``point_hook`` is invoked
+    after each point — handy for progress output in long sweeps.
+    """
+    result = SweepResult(label=server.label, scenario=scenario.name)
+    for clients in client_counts:
+        workload = WorkloadSpec(
+            clients=clients,
+            duration=duration,
+            warmup=warmup,
+            **(workload_overrides or {}),
+        )
+        metrics = Experiment(
+            server=server,
+            workload=workload,
+            machine=scenario.machine,
+            network=scenario.network,
+            seed=seed,
+        ).run()
+        result.points.append(metrics)
+        if point_hook is not None:
+            point_hook(metrics)
+    return result

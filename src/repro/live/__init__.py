@@ -1,0 +1,15 @@
+"""Live implementations on real sockets: asyncio event server, threaded
+blocking server, and an httperf-like load generator."""
+
+from .docroot import DocRoot
+from .eventserver import AsyncioEventServer
+from .loadgen import LiveStats, run_load
+from .threadserver import ThreadPoolHttpServer
+
+__all__ = [
+    "DocRoot",
+    "AsyncioEventServer",
+    "LiveStats",
+    "run_load",
+    "ThreadPoolHttpServer",
+]

@@ -1,0 +1,69 @@
+"""Document roots for the live servers.
+
+Materialises a (small) SURGE file population either in memory or on disk,
+so the live event-driven and threaded servers serve the same byte-exact
+content the simulation models statistically.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..http.files import FilePopulation
+
+__all__ = ["DocRoot"]
+
+
+class DocRoot:
+    """A mapping of ``/file/<id>`` paths to response bodies."""
+
+    def __init__(self, files: Dict[str, bytes]):
+        self._files = files
+
+    @staticmethod
+    def from_population(
+        population: FilePopulation,
+        max_file_bytes: int = 256 * 1024,
+    ) -> "DocRoot":
+        """Build an in-memory docroot (sizes capped for test friendliness)."""
+        files = {}
+        for file_id in range(len(population)):
+            size = min(population.size_of(file_id), max_file_bytes)
+            # Deterministic, compressible-but-nontrivial content.
+            block = (f"file{file_id:06d}-" * 64).encode("ascii")
+            body = (block * (size // len(block) + 1))[:size]
+            files[f"/file/{file_id}"] = body
+        return DocRoot(files)
+
+    @staticmethod
+    def synthetic(n_files: int = 50, seed: int = 7) -> "DocRoot":
+        """Small population for tests and demos."""
+        rng = np.random.default_rng(seed)
+        population = FilePopulation(rng, n_files=n_files, max_bytes=64 * 1024)
+        return DocRoot.from_population(population)
+
+    def lookup(self, path: str) -> Optional[bytes]:
+        """Body for ``path``, or None (404)."""
+        return self._files.get(path)
+
+    def paths(self):
+        """All servable request paths."""
+        return list(self._files)
+
+    def write_to_disk(self, root: Path) -> None:
+        """Materialise the docroot under ``root`` (for external tools)."""
+        for path, body in self._files.items():
+            target = root / path.lstrip("/")
+            os.makedirs(target.parent, exist_ok=True)
+            target.write_bytes(body)
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(len(b) for b in self._files.values())

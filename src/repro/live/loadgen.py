@@ -1,0 +1,131 @@
+"""httperf-like load generator for the live servers.
+
+Opens N concurrent persistent connections to a live server, issues GET
+requests with think times, and measures throughput, latency percentiles
+and errors — a miniature of the paper's httperf setup that works against
+either live server implementation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["LiveStats", "run_load"]
+
+
+@dataclass
+class LiveStats:
+    """Outcome of one live load run."""
+
+    duration: float
+    replies: int = 0
+    errors: int = 0
+    bytes_received: int = 0
+    latencies: List[float] = field(default_factory=list)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.replies / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        return float(np.mean(self.latencies)) if self.latencies else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        """q-th percentile of per-reply latency (seconds)."""
+        if not self.latencies:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies), q))
+
+
+async def _read_response(reader: asyncio.StreamReader) -> int:
+    """Read one HTTP response; returns total bytes consumed."""
+    head = await reader.readuntil(b"\r\n\r\n")
+    content_length = 0
+    for line in head.split(b"\r\n"):
+        if line.lower().startswith(b"content-length:"):
+            content_length = int(line.split(b":", 1)[1])
+            break
+    if content_length:
+        await reader.readexactly(content_length)
+    return len(head) + content_length
+
+
+async def _client(
+    host: str,
+    port: int,
+    paths: Sequence[str],
+    requests: int,
+    think_time: float,
+    timeout: float,
+    stats: LiveStats,
+    rng: np.random.Generator,
+) -> None:
+    reader = writer = None
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout
+        )
+        for i in range(requests):
+            path = paths[int(rng.integers(len(paths)))]
+            request = (
+                f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
+                "Connection: keep-alive\r\n\r\n"
+            ).encode("ascii")
+            t0 = time.perf_counter()
+            writer.write(request)
+            await writer.drain()
+            nbytes = await asyncio.wait_for(_read_response(reader), timeout)
+            stats.latencies.append(time.perf_counter() - t0)
+            stats.replies += 1
+            stats.bytes_received += nbytes
+            if think_time > 0 and i + 1 < requests:
+                await asyncio.sleep(float(rng.exponential(think_time)))
+    except (asyncio.TimeoutError, OSError, asyncio.IncompleteReadError):
+        stats.errors += 1
+    finally:
+        if writer is not None:
+            writer.close()
+
+
+def run_load(
+    host: str,
+    port: int,
+    paths: Sequence[str],
+    clients: int = 10,
+    requests_per_client: int = 10,
+    think_time: float = 0.0,
+    timeout: float = 10.0,
+    seed: int = 42,
+) -> LiveStats:
+    """Drive a live server and return measured statistics."""
+    if not paths:
+        raise ValueError("need at least one request path")
+
+    async def main() -> LiveStats:
+        t0 = time.perf_counter()
+        stats = LiveStats(duration=0.0)
+        root = np.random.SeedSequence(seed)
+        tasks = [
+            _client(
+                host,
+                port,
+                paths,
+                requests_per_client,
+                think_time,
+                timeout,
+                stats,
+                np.random.default_rng(child),
+            )
+            for child in root.spawn(clients)
+        ]
+        await asyncio.gather(*tasks)
+        stats.duration = time.perf_counter() - t0
+        return stats
+
+    return asyncio.run(main())

@@ -1,0 +1,20 @@
+"""Measurement substrate: collectors, run summaries, reporting."""
+
+from .collectors import (
+    CLIENT_TIMEOUT,
+    CONNECTION_RESET,
+    IntervalSeries,
+    MetricsHub,
+    StatAccumulator,
+)
+from .report import RunMetrics, format_table
+
+__all__ = [
+    "CLIENT_TIMEOUT",
+    "CONNECTION_RESET",
+    "IntervalSeries",
+    "MetricsHub",
+    "StatAccumulator",
+    "RunMetrics",
+    "format_table",
+]

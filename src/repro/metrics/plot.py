@@ -1,0 +1,141 @@
+"""Terminal (ASCII) line charts for figure data.
+
+The paper's deliverables are figures; this renders regenerated series as
+monospace charts so the shapes — knees, crossovers, blowups — are visible
+directly in benchmark output and terminals, with no plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["ascii_chart"]
+
+#: Glyphs assigned to series, in order.
+_MARKS = "*o+x#@%&"
+
+
+def _nice_ticks(lo: float, hi: float, n: int) -> List[float]:
+    """A handful of round tick values covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    step = 10 ** math.floor(math.log10(span / max(1, n)))
+    for mult in (1, 2, 5, 10):
+        if span / (step * mult) <= n:
+            step *= mult
+            break
+    first = math.ceil(lo / step) * step
+    ticks = []
+    t = first
+    while t <= hi + 1e-12:
+        ticks.append(t)
+        t += step
+    return ticks or [lo, hi]
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 10_000:
+        return f"{value:.3g}"
+    if abs(value) >= 10:
+        return f"{value:.0f}"
+    return f"{value:.2g}"
+
+
+def ascii_chart(
+    series: Sequence[Tuple[str, Sequence[float], Sequence[float]]],
+    width: int = 68,
+    height: int = 16,
+    logy: bool = False,
+    title: Optional[str] = None,
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render ``[(label, xs, ys), ...]`` as a monospace line chart.
+
+    ``logy`` plots a log10 y-axis (useful for connection-time blowups
+    spanning orders of magnitude); zero/negative values are clamped to
+    the smallest positive value present.
+    """
+    series = [s for s in series if len(s[1]) > 0]
+    if not series:
+        return "(no data)"
+
+    all_x = [x for _l, xs, _ys in series for x in xs]
+    all_y = [y for _l, _xs, ys in series for y in ys]
+    if logy:
+        positive = [y for y in all_y if y > 0]
+        floor = min(positive) if positive else 1e-9
+        transform = lambda y: math.log10(max(y, floor))
+        all_y = [transform(y) for y in all_y]
+    else:
+        transform = lambda y: y
+
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    if not logy:
+        y_lo = min(y_lo, 0.0)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        return min(width - 1, max(0, round((x - x_lo) / (x_hi - x_lo) * (width - 1))))
+
+    def to_row(y: float) -> int:
+        frac = (y - y_lo) / (y_hi - y_lo)
+        return min(height - 1, max(0, round((1.0 - frac) * (height - 1))))
+
+    for idx, (_label, xs, ys) in enumerate(series):
+        mark = _MARKS[idx % len(_MARKS)]
+        pts = [(to_col(x), to_row(transform(y))) for x, y in zip(xs, ys)]
+        # Connect consecutive points with interpolated cells.
+        for (c0, r0), (c1, r1) in zip(pts, pts[1:]):
+            steps = max(abs(c1 - c0), abs(r1 - r0), 1)
+            for s in range(steps + 1):
+                c = round(c0 + (c1 - c0) * s / steps)
+                r = round(r0 + (r1 - r0) * s / steps)
+                if grid[r][c] == " ":
+                    grid[r][c] = "."
+        for c, r in pts:
+            grid[r][c] = mark
+
+    # Assemble with a y-axis gutter.
+    y_ticks = {to_row(t): t for t in _nice_ticks(y_lo, y_hi, 4)}
+    gutter = max(
+        (len(_fmt(10**v if logy else v)) for v in y_ticks.values()),
+        default=1,
+    )
+    lines = []
+    if title:
+        lines.append(title.center(gutter + 2 + width))
+    for r in range(height):
+        if r in y_ticks:
+            v = y_ticks[r]
+            label = _fmt(10**v if logy else v)
+        else:
+            label = ""
+        lines.append(f"{label:>{gutter}} |" + "".join(grid[r]))
+    lines.append(" " * gutter + " +" + "-" * width)
+    x_ticks = _nice_ticks(x_lo, x_hi, 5)
+    axis = [" "] * width
+    for t in x_ticks:
+        col = to_col(t)
+        text = _fmt(t)
+        start = min(max(0, col - len(text) // 2), width - len(text))
+        for i, ch in enumerate(text):
+            axis[start + i] = ch
+    lines.append(" " * gutter + "  " + "".join(axis))
+    footer = "  ".join(
+        f"{_MARKS[i % len(_MARKS)]} {label}" for i, (label, _x, _y) in enumerate(series)
+    )
+    if xlabel or ylabel:
+        footer += f"   [{xlabel} vs {ylabel}{', log y' if logy else ''}]"
+    lines.append(" " * gutter + "  " + footer)
+    return "\n".join(lines)

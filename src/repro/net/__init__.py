@@ -1,0 +1,32 @@
+"""Network substrate: fluid links, TCP-like connections, selector, topology."""
+
+from .link import DuplexLink, Link
+from .selector import READ, WRITE, Selector
+from .tcp import (
+    EOF,
+    ConnectTimeout,
+    Connection,
+    ListenSocket,
+    PendingResponse,
+    ResetByServer,
+    ResponseTimeout,
+)
+from .topology import LinkSpec, Network, NetworkSpec
+
+__all__ = [
+    "DuplexLink",
+    "Link",
+    "READ",
+    "WRITE",
+    "Selector",
+    "EOF",
+    "ConnectTimeout",
+    "Connection",
+    "ListenSocket",
+    "PendingResponse",
+    "ResetByServer",
+    "ResponseTimeout",
+    "LinkSpec",
+    "Network",
+    "NetworkSpec",
+]

@@ -1,0 +1,107 @@
+"""Fluid network links.
+
+A :class:`Link` is a unidirectional store-and-forward pipe: transmissions
+serialize at ``bandwidth`` bytes/s (FIFO, like frames on a wire) and then
+experience a fixed propagation ``latency``.  This O(1)-per-transmission
+fluid model captures exactly what the paper's experiments exercise —
+bandwidth ceilings, queueing delay growth at saturation, and the extra
+congestion caused by handshake/reset traffic — without per-packet events.
+
+A :class:`DuplexLink` pairs an uplink (clients → SUT) and a downlink
+(SUT → clients), mirroring full-duplex Ethernet with a crossover cable as
+used in the paper's testbed.
+"""
+
+from __future__ import annotations
+
+from ..sim.core import Event, SimulationError, Simulator
+
+__all__ = ["Link", "DuplexLink"]
+
+
+class Link:
+    """Unidirectional fluid link with FIFO serialization."""
+
+    __slots__ = (
+        "sim",
+        "name",
+        "bandwidth",
+        "latency",
+        "_busy_until",
+        "bytes_sent",
+        "transmissions",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bytes_per_s: float,
+        latency_s: float = 0.0002,
+        name: str = "link",
+    ) -> None:
+        if bandwidth_bytes_per_s <= 0:
+            raise SimulationError("bandwidth must be positive")
+        if latency_s < 0:
+            raise SimulationError("latency must be non-negative")
+        self.sim = sim
+        self.name = name
+        self.bandwidth = float(bandwidth_bytes_per_s)
+        self.latency = float(latency_s)
+        self._busy_until = 0.0
+        self.bytes_sent = 0
+        self.transmissions = 0
+
+    def transmit(self, nbytes: int) -> Event:
+        """Send ``nbytes``; the event fires when the last byte *arrives*.
+
+        Transmissions queue FIFO behind whatever is already on the wire.
+        """
+        if nbytes <= 0:
+            raise SimulationError(f"cannot transmit {nbytes} bytes")
+        now = self.sim.now
+        start = max(now, self._busy_until)
+        done = start + nbytes / self.bandwidth
+        self._busy_until = done
+        self.bytes_sent += nbytes
+        self.transmissions += 1
+        return self.sim.timeout(done + self.latency - now)
+
+    def queue_delay(self) -> float:
+        """Seconds a transmission issued now would wait before starting."""
+        return max(0.0, self._busy_until - self.sim.now)
+
+    def utilization(self, elapsed: float) -> float:
+        """Mean utilisation over ``elapsed`` seconds of wall-clock."""
+        if elapsed <= 0:
+            return 0.0
+        return self.bytes_sent / (elapsed * self.bandwidth)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Link({self.name!r}, {self.bandwidth / 1e6:.1f} MB/s, "
+            f"queued={self.queue_delay() * 1e3:.2f} ms)"
+        )
+
+
+class DuplexLink:
+    """Paired uplink/downlink between one client machine and the SUT."""
+
+    __slots__ = ("up", "down")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bytes_per_s: float,
+        latency_s: float = 0.0002,
+        name: str = "eth",
+    ) -> None:
+        self.up = Link(sim, bandwidth_bytes_per_s, latency_s, f"{name}-up")
+        self.down = Link(sim, bandwidth_bytes_per_s, latency_s, f"{name}-down")
+
+    @property
+    def rtt(self) -> float:
+        """Idle round-trip time."""
+        return self.up.latency + self.down.latency
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DuplexLink(up={self.up!r}, down={self.down!r})"

@@ -1,0 +1,105 @@
+"""Testbed network topologies.
+
+The paper uses three network configurations between the workload
+generators and the SUT:
+
+* one client machine on a 100 Mbit/s link,
+* two client machines, each on its own 100 Mbit/s link (200 Mbit/s
+  aggregate),
+* one client machine on a 1 Gbit/s link.
+
+Each crossover-wired link is modelled as a :class:`~repro.net.link.DuplexLink`;
+emulated clients are assigned round-robin to client machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..sim.core import Simulator
+from .link import DuplexLink
+
+__all__ = ["LinkSpec", "NetworkSpec", "Network"]
+
+#: Fraction of nominal Ethernet bandwidth available to payload bytes
+#: (frame + IP + TCP header overhead on ~1 KB average segments).
+WIRE_EFFICIENCY = 0.94
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One client-machine-to-SUT link."""
+
+    bandwidth_bps: float  # nominal bit rate
+    latency_s: float = 0.0002
+
+    @property
+    def payload_bytes_per_s(self) -> float:
+        """Usable payload bandwidth in bytes/second."""
+        return self.bandwidth_bps / 8.0 * WIRE_EFFICIENCY
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """A set of client links forming the testbed network."""
+
+    name: str
+    links: Tuple[LinkSpec, ...]
+
+    # -- the paper's three configurations ---------------------------------
+    @staticmethod
+    def fast_ethernet() -> "NetworkSpec":
+        """One client machine over 100 Mbit/s."""
+        return NetworkSpec("100Mbps", (LinkSpec(100e6),))
+
+    @staticmethod
+    def dual_fast_ethernet() -> "NetworkSpec":
+        """Two client machines, 100 Mbit/s each (200 Mbit/s aggregate)."""
+        return NetworkSpec("2x100Mbps", (LinkSpec(100e6), LinkSpec(100e6)))
+
+    @staticmethod
+    def gigabit() -> "NetworkSpec":
+        """One client machine over 1 Gbit/s (the CPU-bounded scenario)."""
+        return NetworkSpec("1Gbps", (LinkSpec(1e9),))
+
+    @property
+    def total_bandwidth_bytes(self) -> float:
+        return sum(link.payload_bytes_per_s for link in self.links)
+
+
+class Network:
+    """Instantiated links of a testbed bound to a simulator."""
+
+    def __init__(self, sim: Simulator, spec: NetworkSpec) -> None:
+        self.sim = sim
+        self.spec = spec
+        self.duplexes: List[DuplexLink] = [
+            DuplexLink(
+                sim,
+                link.payload_bytes_per_s,
+                link.latency_s,
+                name=f"{spec.name}-{i}",
+            )
+            for i, link in enumerate(spec.links)
+        ]
+
+    def link_for_client(self, client_index: int) -> DuplexLink:
+        """Round-robin client-to-machine assignment, like the paper's two
+        workload generators splitting the emulated clients."""
+        return self.duplexes[client_index % len(self.duplexes)]
+
+    def bytes_sent_down(self) -> int:
+        """Total response bytes that crossed all downlinks."""
+        return sum(d.down.bytes_sent for d in self.duplexes)
+
+    def bytes_sent_up(self) -> int:
+        """Total request/handshake bytes that crossed all uplinks."""
+        return sum(d.up.bytes_sent for d in self.duplexes)
+
+    def downlink_utilization(self, elapsed: float) -> float:
+        """Aggregate downlink utilisation over ``elapsed`` seconds."""
+        if elapsed <= 0:
+            return 0.0
+        capacity = sum(d.down.bandwidth for d in self.duplexes)
+        return self.bytes_sent_down() / (elapsed * capacity)

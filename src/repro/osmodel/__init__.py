@@ -1,0 +1,19 @@
+"""Operating-system / hardware substrate for the system under test."""
+
+from .costs import CostModel
+from .cpu import CPU
+from .machine import Machine, MachineSpec
+from .memory import MemoryAccount, MemoryExhausted
+from .threads import SimThread, ThreadLimitExceeded, ThreadRegistry
+
+__all__ = [
+    "CostModel",
+    "CPU",
+    "Machine",
+    "MachineSpec",
+    "MemoryAccount",
+    "MemoryExhausted",
+    "SimThread",
+    "ThreadLimitExceeded",
+    "ThreadRegistry",
+]

@@ -1,0 +1,103 @@
+"""Physical-memory accounting for the system under test.
+
+Thread stacks, connection buffers and the JVM heap all draw from one
+:class:`MemoryAccount`.  Two behaviours matter for the paper:
+
+* hard exhaustion — spawning thread 6001 of a 6000-thread pool can fail
+  outright (the paper reports the 6000-thread Apache configuration "even
+  hanging the system several times");
+* swap pressure — once utilisation passes a threshold the machine starts
+  paging and loses CPU capacity, which is how the 6000-thread configuration
+  gains a little throughput on paper but loses stability.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+__all__ = ["MemoryAccount", "MemoryExhausted"]
+
+
+class MemoryExhausted(Exception):
+    """An allocation did not fit in physical memory."""
+
+
+class MemoryAccount:
+    """Tracks allocations against a fixed physical capacity."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        pressure_threshold: float = 0.85,
+        swap_penalty: float = 0.35,
+    ) -> None:
+        """``swap_penalty`` is the max capacity fraction lost at 100% usage."""
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        if not (0.0 < pressure_threshold <= 1.0):
+            raise ValueError("pressure threshold must be in (0, 1]")
+        self.capacity_bytes = int(capacity_bytes)
+        self.pressure_threshold = pressure_threshold
+        self.swap_penalty = swap_penalty
+        self.used_bytes = 0
+        self.peak_bytes = 0
+        self._listeners: List[Callable[[], None]] = []
+
+    # -- observers ---------------------------------------------------------
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    @property
+    def pressure(self) -> float:
+        """Utilisation in [0, 1]."""
+        return self.used_bytes / self.capacity_bytes
+
+    def cpu_penalty_factor(self) -> float:
+        """Multiplier (<= 1) on CPU capacity caused by paging activity.
+
+        1.0 below the pressure threshold, dropping linearly to
+        ``1 - swap_penalty`` at full memory.
+        """
+        over = self.pressure - self.pressure_threshold
+        if over <= 0.0:
+            return 1.0
+        span = 1.0 - self.pressure_threshold
+        return 1.0 - self.swap_penalty * min(1.0, over / span)
+
+    def subscribe(self, listener: Callable[[], None]) -> None:
+        """Register a callback invoked after every allocate/free."""
+        self._listeners.append(listener)
+
+    # -- mutation ----------------------------------------------------------
+    def allocate(self, nbytes: int, what: Optional[str] = None) -> None:
+        """Claim ``nbytes``; raises :class:`MemoryExhausted` if they don't fit."""
+        if nbytes < 0:
+            raise ValueError("cannot allocate negative bytes")
+        if self.used_bytes + nbytes > self.capacity_bytes:
+            raise MemoryExhausted(
+                f"cannot allocate {nbytes} bytes for {what or 'object'}: "
+                f"{self.free_bytes} free of {self.capacity_bytes}"
+            )
+        self.used_bytes += nbytes
+        self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+        self._notify()
+
+    def free(self, nbytes: int) -> None:
+        """Return ``nbytes`` to the pool."""
+        if nbytes < 0:
+            raise ValueError("cannot free negative bytes")
+        if nbytes > self.used_bytes:
+            raise ValueError("freeing more than allocated")
+        self.used_bytes -= nbytes
+        self._notify()
+
+    def _notify(self) -> None:
+        for listener in self._listeners:
+            listener()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MemoryAccount(used={self.used_bytes}, "
+            f"capacity={self.capacity_bytes}, pressure={self.pressure:.2f})"
+        )

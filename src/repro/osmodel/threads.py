@@ -1,0 +1,124 @@
+"""Thread accounting: spawn cost, stack memory, management overhead.
+
+The paper's central asymmetry is that the multithreaded server needs
+*thousands* of threads while the event-driven server needs one or two.
+This module makes thread count a first-class cost:
+
+* every live thread pins stack memory in the :class:`MemoryAccount`;
+* scheduler/bookkeeping overhead grows with the live-thread count and is
+  charged as a CPU *capacity* loss
+  (``factor = 1 - mgmt_overhead_per_thread * live``), which reproduces the
+  paper's finding that 4096- and 6000-thread pools degrade before their
+  concurrency limit is reached;
+* a platform thread limit can be enforced (the paper notes a JVM is
+  "commonly limited to spawn a maximum of 1000 threads").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.core import SimulationError, Simulator
+from .cpu import CPU
+from .memory import MemoryAccount, MemoryExhausted
+
+__all__ = ["SimThread", "ThreadRegistry", "ThreadLimitExceeded"]
+
+#: Floor on the CPU capacity factor: even a badly thrashing scheduler
+#: makes some progress.
+_MIN_CAPACITY_FACTOR = 0.10
+
+
+class ThreadLimitExceeded(Exception):
+    """Spawning would exceed the platform's maximum thread count."""
+
+
+class SimThread:
+    """Handle for one live thread (identity + stack accounting)."""
+
+    __slots__ = ("registry", "name", "stack_bytes", "alive")
+
+    def __init__(self, registry: "ThreadRegistry", name: str, stack_bytes: int):
+        self.registry = registry
+        self.name = name
+        self.stack_bytes = stack_bytes
+        self.alive = True
+
+    def exit(self) -> None:
+        """Terminate the thread, releasing its stack."""
+        if self.alive:
+            self.alive = False
+            self.registry._on_exit(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "dead"
+        return f"SimThread({self.name!r}, {state})"
+
+
+class ThreadRegistry:
+    """Tracks live threads of the SUT and applies their overheads."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cpu: CPU,
+        memory: MemoryAccount,
+        mgmt_overhead_per_thread: float = 3.0e-5,
+        default_stack_bytes: int = 256 * 1024,
+        max_threads: Optional[int] = None,
+    ) -> None:
+        self.sim = sim
+        self.cpu = cpu
+        self.memory = memory
+        self.mgmt_overhead_per_thread = mgmt_overhead_per_thread
+        self.default_stack_bytes = default_stack_bytes
+        self.max_threads = max_threads
+        self.live = 0
+        self.peak = 0
+        self.spawned = 0
+        memory.subscribe(self._update_cpu_factor)
+
+    def spawn(self, name: str, stack_bytes: Optional[int] = None) -> SimThread:
+        """Create a thread; raises on thread-limit or memory exhaustion."""
+        if self.max_threads is not None and self.live >= self.max_threads:
+            raise ThreadLimitExceeded(
+                f"platform limit of {self.max_threads} threads reached"
+            )
+        stack = self.default_stack_bytes if stack_bytes is None else stack_bytes
+        self.memory.allocate(stack, what=f"stack of {name}")
+        thread = SimThread(self, name, stack)
+        self.live += 1
+        self.spawned += 1
+        self.peak = max(self.peak, self.live)
+        self._update_cpu_factor()
+        return thread
+
+    def spawn_pool(self, prefix: str, count: int) -> list:
+        """Spawn ``count`` threads, rolling back all of them on failure."""
+        threads = []
+        try:
+            for i in range(count):
+                threads.append(self.spawn(f"{prefix}-{i}"))
+        except (MemoryExhausted, ThreadLimitExceeded):
+            for t in threads:
+                t.exit()
+            raise
+        return threads
+
+    def _on_exit(self, thread: SimThread) -> None:
+        if self.live <= 0:
+            raise SimulationError("thread exit without matching spawn")
+        self.live -= 1
+        self.memory.free(thread.stack_bytes)
+        self._update_cpu_factor()
+
+    def _update_cpu_factor(self) -> None:
+        mgmt = max(
+            _MIN_CAPACITY_FACTOR,
+            1.0 - self.mgmt_overhead_per_thread * self.live,
+        )
+        factor = mgmt * self.memory.cpu_penalty_factor()
+        self.cpu.set_capacity_factor(max(_MIN_CAPACITY_FACTOR, factor))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ThreadRegistry(live={self.live}, peak={self.peak})"

@@ -1,0 +1,15 @@
+"""Web-server architecture models under test."""
+
+from .amped import AmpedServer
+from .base import Server
+from .eventdriven import EventDrivenServer
+from .staged import StagedServer
+from .threadpool import ThreadPoolServer
+
+__all__ = [
+    "AmpedServer",
+    "Server",
+    "EventDrivenServer",
+    "StagedServer",
+    "ThreadPoolServer",
+]

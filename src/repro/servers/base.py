@@ -1,0 +1,67 @@
+"""Common interface of the web-server models under test."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..http.protocol import HttpSemantics
+from ..net.tcp import ListenSocket
+from ..osmodel.costs import CostModel
+from ..osmodel.machine import Machine
+from ..sim.core import Simulator
+
+__all__ = ["Server"]
+
+
+class Server:
+    """Base class: owns the listener, machine and protocol semantics.
+
+    Subclasses implement :meth:`start` (spawn their threads/processes) and
+    populate ``requests_served`` / ``connections_handled`` as they work.
+    """
+
+    name = "server"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: Machine,
+        listener: ListenSocket,
+        semantics: Optional[HttpSemantics] = None,
+        costs: Optional[CostModel] = None,
+    ) -> None:
+        self.sim = sim
+        self.machine = machine
+        self.listener = listener
+        self.semantics = semantics or HttpSemantics()
+        self.costs = costs or CostModel()
+        self.requests_served = 0
+        self.connections_handled = 0
+        self.started = False
+
+    def start(self) -> None:
+        """Spawn the server's threads/processes onto the simulator."""
+        raise NotImplementedError
+
+    # -- reporting -----------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        """Server-side counters exposed in run reports."""
+        return {
+            "requests_served": self.requests_served,
+            "connections_handled": self.connections_handled,
+            "threads_live": self.machine.threads.live,
+            "threads_peak": self.machine.threads.peak,
+            "syns_dropped": self.listener.syns_dropped,
+            "backlog_depth": self.listener.backlog_depth,
+            "memory_pressure": round(self.machine.memory.pressure, 4),
+        }
+
+    # -- shared helpers ---------------------------------------------------------
+    def _service_cost(self) -> float:
+        """CPU to read + parse a request and locate its file."""
+        c = self.costs
+        return c.read_syscall + c.parse_request + c.file_lookup
+
+    def _chunk_cost(self, nbytes: int) -> float:
+        """CPU to push one chunk through write(2)."""
+        return self.costs.write_syscall + self.costs.per_byte * nbytes

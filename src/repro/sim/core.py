@@ -1,0 +1,419 @@
+"""Discrete-event simulation kernel.
+
+This module implements a small, fast, dependency-free event-driven
+simulation core in the style of SimPy: a :class:`Simulator` owns a binary
+heap of scheduled :class:`Event` objects and advances a simulated clock by
+processing them in timestamp order.  Model logic is written as Python
+generator functions wrapped in :class:`Process`; a process suspends by
+yielding an event and is resumed with the event's value once it triggers.
+
+Design notes
+------------
+* Events carry ``__slots__`` and the hot path (``step``) avoids attribute
+  lookups where it matters; the kernel comfortably processes hundreds of
+  thousands of events per second, which is what the full figure-regeneration
+  sweeps in :mod:`repro.core.figures` need.
+* Failures propagate: an event that fails with no registered callbacks and
+  that nobody *defused* re-raises inside :meth:`Simulator.step`, so model
+  bugs surface in tests instead of being silently dropped.
+* Determinism: ties in time are broken by a monotonically increasing
+  sequence number, so runs are exactly reproducible for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "Condition",
+    "AnyOf",
+    "AllOf",
+    "Interrupted",
+    "Simulator",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (double trigger, bad yield, ...)."""
+
+
+#: Sentinel marking an event that has not triggered yet.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence at a point in simulated time.
+
+    An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
+    *triggers* it, which schedules it on the simulator queue.  When the
+    simulator pops it, the event is *processed*: every registered callback
+    is invoked with the event as its sole argument.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        #: Callbacks run at processing time; ``None`` once processed.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok = True
+        self._defused = False
+
+    # -- inspection ------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed`/:meth:`fail` has been called."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the simulator has run this event's callbacks."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception of a triggered event."""
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._value = value
+        self._ok = True
+        self.sim._push(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is delivered to waiting processes (thrown into their
+        generators).  If nothing waits on the event and nobody calls
+        :meth:`defuse`, the exception re-raises from :meth:`Simulator.step`.
+        """
+        if not isinstance(exc, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._value = exc
+        self._ok = False
+        self.sim._push(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failure as handled so it does not crash the simulation."""
+        self._defused = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "pending"
+            if not self.triggered
+            else ("ok" if self._ok else "failed")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` time units after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        super().__init__(sim)
+        self._value = value
+        self._ok = True
+        sim._push(self, delay)
+
+
+class Interrupted(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """Wraps a generator; the process event triggers when it returns.
+
+    The generator may ``yield`` any :class:`Event` belonging to the same
+    simulator; it is resumed with the event's value (or has the failure
+    exception thrown into it).  The generator's return value becomes the
+    process event's value.
+    """
+
+    __slots__ = ("_gen", "_target", "name")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        gen: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(gen, "send"):
+            raise SimulationError(f"process requires a generator, got {gen!r}")
+        super().__init__(sim)
+        self._gen = gen
+        self._target: Optional[Event] = None
+        self.name = name or getattr(gen, "__name__", "process")
+        # Bootstrap: resume the generator at the current time.
+        boot = Event(sim)
+        boot._value = None
+        boot._ok = True
+        boot.callbacks.append(self._resume)
+        sim._push(boot)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupted` into the process at the current time.
+
+        The event the process currently waits on is detached (the process
+        will not be resumed by it); the process itself decides how to
+        recover inside an ``except Interrupted`` block.
+        """
+        if self._value is not _PENDING:
+            raise SimulationError("cannot interrupt a terminated process")
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        poke = Event(self.sim)
+        poke._value = Interrupted(cause)
+        poke._ok = False
+        poke._defused = True
+        poke.callbacks.append(self._resume)
+        self.sim._push(poke)
+        self._target = poke
+
+    # -- internal --------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        try:
+            if event._ok:
+                nxt = self._gen.send(event._value)
+            else:
+                event._defused = True
+                nxt = self._gen.throw(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        if not isinstance(nxt, Event):
+            err = SimulationError(
+                f"process {self.name!r} yielded non-event {nxt!r}"
+            )
+            self._gen.close()
+            self.fail(err)
+            return
+        if nxt.sim is not self.sim:
+            self._gen.close()
+            self.fail(SimulationError("yielded event from another simulator"))
+            return
+        if nxt.callbacks is not None:
+            nxt.callbacks.append(self._resume)
+            self._target = nxt
+        else:
+            # Already processed: relay its outcome on the next step.
+            relay = Event(self.sim)
+            relay._value = nxt._value
+            relay._ok = nxt._ok
+            if not nxt._ok:
+                relay._defused = True
+            relay.callbacks.append(self._resume)
+            self.sim._push(relay)
+            self._target = relay
+
+
+class Condition(Event):
+    """Triggers based on the outcome of a set of child events.
+
+    ``need`` children must succeed for the condition to succeed.  The value
+    is a dict mapping each *triggered-so-far* child to its value, in child
+    order.  Any child failure fails the condition immediately (the child is
+    defused; the exception is the condition's value).
+    """
+
+    __slots__ = ("_events", "_need", "_done")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event], need: int) -> None:
+        super().__init__(sim)
+        self._events = list(events)
+        if need < 0 or need > len(self._events):
+            raise SimulationError("invalid condition threshold")
+        self._need = need
+        self._done = 0
+        if not self._events or need == 0:
+            self.succeed({})
+            return
+        for ev in self._events:
+            if ev.sim is not sim:
+                raise SimulationError("condition mixes simulators")
+            if ev.callbacks is None:
+                # Already processed child.
+                self._check(ev)
+                if self.triggered:
+                    break
+            else:
+                ev.callbacks.append(self._check)
+
+    def _collect(self) -> dict:
+        # Only *processed* children count: a Timeout pre-sets its value at
+        # creation, so "triggered" alone would claim future timeouts fired.
+        return {
+            ev: ev._value
+            for ev in self._events
+            if ev.callbacks is None and ev._ok
+        }
+
+    def _check(self, event: Event) -> None:
+        if self._value is not _PENDING:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._done += 1
+        if self._done >= self._need:
+            self.succeed(self._collect())
+
+
+class AnyOf(Condition):
+    """Condition triggering when *any* child succeeds."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        events = list(events)
+        super().__init__(sim, events, need=min(1, len(events)))
+
+
+class AllOf(Condition):
+    """Condition triggering when *all* children succeed."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        events = list(events)
+        super().__init__(sim, events, need=len(events))
+
+
+class Simulator:
+    """The event loop: a clock plus a heap of (time, seq, event) entries."""
+
+    __slots__ = ("_now", "_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list = []
+        self._seq = 0
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds by convention in this library)."""
+        return self._now
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    # -- event factories ---------------------------------------------------
+    def event(self) -> Event:
+        """A fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event triggering ``delay`` from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, gen: Generator[Event, Any, Any], name: Optional[str] = None
+    ) -> Process:
+        """Start a generator as a process."""
+        return Process(self, gen, name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Condition triggering when any child succeeds."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Condition triggering when every child succeeds."""
+        return AllOf(self, events)
+
+    def call_later(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Run ``fn(*args)`` as a callback ``delay`` from now."""
+        ev = Timeout(self, delay)
+        ev.callbacks.append(lambda _ev: fn(*args))
+        return ev
+
+    # -- scheduling --------------------------------------------------------
+    def _push(self, event: Event, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        when, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not event._defused:
+            exc = event._value
+            raise exc
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or the clock reaches ``until``.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if no event falls on it, so back-to-back ``run`` calls compose.
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return
+        if until < self._now:
+            raise SimulationError(f"cannot run backwards to {until!r}")
+        while self._heap and self._heap[0][0] <= until:
+            self.step()
+        self._now = until
+
+    def run_process(self, proc: Process) -> Any:
+        """Run until ``proc`` finishes; return its value or raise its error."""
+        while self._heap and not proc.triggered:
+            self.step()
+        if not proc.triggered:
+            raise SimulationError(
+                f"simulation ran out of events before {proc.name!r} finished"
+            )
+        if not proc._ok:
+            proc._defused = True
+            raise proc._value
+        return proc._value

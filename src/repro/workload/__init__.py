@@ -1,0 +1,30 @@
+"""Workload substrate: SURGE distributions, httperf clients, session logs."""
+
+from .distributions import (
+    BoundedPareto,
+    Constant,
+    Distribution,
+    Exponential,
+    Geometric,
+    Lognormal,
+)
+from .httperf import EmulatedClient, HttperfConfig, LoadGenerator
+from .sessionlog import ReplayWorkload, SessionLog
+from .surge import SessionPlan, SurgeConfig, SurgeWorkload
+
+__all__ = [
+    "BoundedPareto",
+    "Constant",
+    "Distribution",
+    "Exponential",
+    "Geometric",
+    "Lognormal",
+    "EmulatedClient",
+    "HttperfConfig",
+    "LoadGenerator",
+    "ReplayWorkload",
+    "SessionLog",
+    "SessionPlan",
+    "SurgeConfig",
+    "SurgeWorkload",
+]

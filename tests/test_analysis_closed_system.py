@@ -1,0 +1,85 @@
+"""Closed-system (interactive) law tests, including against the simulator."""
+
+import pytest
+
+from repro.analysis import (
+    ServiceEstimate,
+    closed_system_throughput_bound,
+    interactive_response_time,
+    knee_client_count,
+)
+from repro.core import Experiment, ServerSpec, WorkloadSpec
+from repro.osmodel import MachineSpec
+
+
+def test_interactive_response_time_identity():
+    # 100 clients, 50 replies/s, 1.5 s thinking -> R = 0.5 s.
+    assert interactive_response_time(100, 50.0, 1.5) == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        interactive_response_time(10, 0.0, 1.0)
+
+
+def test_throughput_bound_regimes():
+    svc = ServiceEstimate(1e-2)  # capacity 100/s
+    # Light load: the N/(Z+S) line.
+    assert closed_system_throughput_bound(10, svc, think=0.99) == pytest.approx(10.0)
+    # Heavy load: the C/S plateau.
+    assert closed_system_throughput_bound(10_000, svc, think=0.99) == pytest.approx(100.0)
+    with pytest.raises(ValueError):
+        closed_system_throughput_bound(10, svc, think=-1.0)
+
+
+def test_knee_is_the_asymptote_intersection():
+    svc = ServiceEstimate(1e-2)
+    knee = knee_client_count(svc, think=0.99)
+    assert knee == pytest.approx(100.0)
+    # At the knee both bounds coincide.
+    light = closed_system_throughput_bound(int(knee), svc, think=0.99)
+    assert light == pytest.approx(100.0, rel=0.01)
+
+
+def run_nio(clients, cpu_speed=0.05):
+    return Experiment(
+        server=ServerSpec.nio(1),
+        workload=WorkloadSpec(
+            clients=clients, duration=12.0, warmup=16.0, n_files=200
+        ),
+        machine=MachineSpec(cpus=1, cpu_speed=cpu_speed),
+        seed=42,
+    ).run()
+
+
+def test_simulated_underload_throughput_tracks_light_load_line():
+    """Below the knee, X ~ N / (Z + S + wire): per-client rate is flat."""
+    small = run_nio(20)
+    large = run_nio(60)
+    per_client_small = small.throughput_rps / 20
+    per_client_large = large.throughput_rps / 60
+    assert per_client_large == pytest.approx(per_client_small, rel=0.1)
+
+
+def test_simulated_response_time_respects_interactive_law_bound():
+    """Measured R obeys the interactive law up to the pipeline overlap.
+
+    ``R_cycle = N/X - Z`` is an operational identity for non-overlapped
+    residence time.  Pipelined requests in a group *overlap* their waits
+    (each accrues the same wall-clock), so the per-request mean may
+    exceed the cycle residual by at most the mean group size.
+    """
+    m = run_nio(300)  # saturated at cpu_speed=0.05
+    # Mean think per request cycle: thinks/requests ratio from SurgeConfig
+    # defaults (4.8 gaps incl. inter-session per ~6.4 requests).
+    from repro.workload import SurgeConfig
+
+    cfg = SurgeConfig()
+    thinks_per_request = (
+        cfg.groups_per_session / cfg.mean_requests_per_session()
+    )
+    think_per_request = thinks_per_request * cfg.think_distribution().mean()
+    bound = interactive_response_time(
+        300, m.throughput_rps, think_per_request
+    )
+    pipeline_factor = cfg.embedded_distribution().mean()
+    assert m.response_time_mean <= bound * pipeline_factor * 1.05
+    # And the bound is meaningful (same order of magnitude).
+    assert m.response_time_mean > bound * 0.2

@@ -1,0 +1,61 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def test_profiles_command(capsys):
+    assert main(["profiles"]) == 0
+    out = capsys.readouterr().out
+    assert "quick" in out and "standard" in out and "full" in out
+
+
+def test_run_command_prints_metrics(capsys):
+    rc = main([
+        "run", "--server", "nio", "--threads", "1",
+        "--clients", "20", "--cpu-speed", "0.2",
+        "--duration", "5", "--warmup", "3",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "replies/s" in out
+    assert "conn_ms" in out
+
+
+def test_run_command_with_stats(capsys):
+    rc = main([
+        "run", "--server", "httpd", "--threads", "16",
+        "--clients", "10", "--duration", "4", "--warmup", "2",
+        "--stats",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "pool_size" in out
+
+
+def test_sweep_command(capsys):
+    rc = main([
+        "sweep", "--server", "nio", "--threads", "1",
+        "--clients", "5,15", "--duration", "4", "--warmup", "2",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "nio-1w" in out
+    assert out.count("\n") >= 4  # title + header + separator + 2 rows
+
+
+def test_figure_rejects_out_of_range(capsys):
+    assert main(["figure", "11"]) == 2
+
+
+def test_parser_rejects_unknown_server():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["run", "--server", "iis"])
+
+
+def test_parser_requires_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])

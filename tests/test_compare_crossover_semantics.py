@@ -1,0 +1,52 @@
+"""Regression tests for find_crossover's tie semantics.
+
+The underloaded region of every sweep has both servers serving the whole
+offered load, so the series *tie* exactly at early points; a tie must not
+register as an overtake (this bit the figure-5 bench once).
+"""
+
+import pytest
+
+from repro.core import find_crossover
+
+
+def test_leading_tie_is_not_a_crossover():
+    xs = [60, 1200, 2400]
+    a = [66.9, 782.4, 864.6]
+    b = [66.9, 782.3, 864.8]  # tie, then A ahead, then B ahead
+    # A was never strictly behind before being ahead: no overtake.
+    assert find_crossover(xs, a, b) is None
+
+
+def test_overtake_after_tie_and_deficit():
+    xs = [60, 1200, 2400, 3600]
+    a = [66.9, 782.2, 864.6, 891.8]
+    b = [66.9, 782.3, 864.8, 891.6]  # tie, behind, behind, ahead
+    knee = find_crossover(xs, a, b)
+    assert knee is not None
+    assert 2400 < knee < 3600
+
+
+def test_touching_zero_without_going_positive_is_none():
+    xs = [1, 2, 3]
+    a = [0.0, 5.0, 5.0]
+    b = [5.0, 5.0, 5.0]
+    assert find_crossover(xs, a, b) is None
+
+
+def test_interpolation_spans_tie_plateau():
+    xs = [1, 2, 3, 4]
+    a = [0.0, 10.0, 10.0, 20.0]
+    b = [10.0, 10.0, 10.0, 10.0]  # behind, tie, tie, ahead
+    knee = find_crossover(xs, a, b)
+    assert knee is not None
+    assert 1.0 < knee <= 4.0
+
+
+def test_never_behind_returns_none():
+    assert find_crossover([1, 2], [5.0, 6.0], [1.0, 2.0]) is None
+
+
+def test_mismatched_lengths_raise():
+    with pytest.raises(ValueError):
+        find_crossover([1, 2, 3], [1.0, 2.0], [1.0, 2.0])

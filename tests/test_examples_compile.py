@@ -1,0 +1,47 @@
+"""The example scripts must at least parse and import-resolve."""
+
+import ast
+import py_compile
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path, tmp_path):
+    py_compile.compile(str(path), cfile=str(tmp_path / "out.pyc"), doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_has_main_and_docstring(path):
+    tree = ast.parse(path.read_text())
+    assert ast.get_docstring(tree), f"{path.name} missing module docstring"
+    names = {
+        node.name for node in tree.body if isinstance(node, ast.FunctionDef)
+    }
+    assert "main" in names
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_imports_resolve(path):
+    """Every repro import in the example must exist in the package."""
+    import importlib
+
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module and (
+            node.module == "repro" or node.module.startswith("repro.")
+        ):
+            module = importlib.import_module(node.module)
+            for alias in node.names:
+                assert hasattr(module, alias.name), (
+                    f"{path.name}: {node.module}.{alias.name} missing"
+                )

@@ -1,0 +1,181 @@
+"""Integration tests: the paper's qualitative results at miniature scale.
+
+These shrink the testbed (``MachineSpec.cpu_speed`` well below 1, small
+client counts, narrow links) so the saturation/overload regimes of the
+paper appear within seconds of simulated time — and assert the claims
+each figure makes.  The full-scale equivalents live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.core import (
+    Experiment,
+    Scenario,
+    ServerSpec,
+    WorkloadSpec,
+    find_crossover,
+    sweep_clients,
+)
+from repro.net import LinkSpec, NetworkSpec
+from repro.osmodel import MachineSpec
+
+#: ~5% of the calibrated CPU: saturates around 150 replies/s.
+SLOW_UP = Scenario(
+    "mini-UP", MachineSpec(cpus=1, cpu_speed=0.05), NetworkSpec.gigabit()
+)
+SLOW_SMP = Scenario(
+    "mini-SMP", MachineSpec(cpus=4, cpu_speed=0.05), NetworkSpec.gigabit()
+)
+#: A narrow link that saturates long before the CPU does.
+NARROW_NET = Scenario(
+    "mini-100M",
+    MachineSpec(cpus=1, cpu_speed=0.05),
+    NetworkSpec("mini-wire", (LinkSpec(4e6),)),
+)
+
+CLIENTS = (20, 80, 160, 240, 320)
+
+
+def mini_sweep(spec, scenario, clients=CLIENTS, seed=42):
+    return sweep_clients(
+        spec,
+        scenario,
+        clients,
+        duration=12.0,
+        warmup=16.0,
+        seed=seed,
+        workload_overrides={"n_files": 200},
+    )
+
+
+@pytest.fixture(scope="module")
+def nio_up():
+    return mini_sweep(ServerSpec.nio(1), SLOW_UP)
+
+
+@pytest.fixture(scope="module")
+def httpd_up():
+    return mini_sweep(ServerSpec.httpd(256), SLOW_UP)
+
+
+# ---------------------------------------------------------------------------
+# figure 1/2 shapes: throughput parity, response-time asymmetry
+# ---------------------------------------------------------------------------
+
+def test_fig1_shape_nio_matches_httpd_peak(nio_up, httpd_up):
+    assert nio_up.peak_throughput >= 0.8 * httpd_up.peak_throughput
+
+
+def test_fig1_shape_throughput_rises_then_saturates(nio_up):
+    t = nio_up.throughputs
+    assert t[1] > 1.5 * t[0]  # linear region
+    assert t[-1] <= t[-2] * 1.25  # saturated region flattens
+
+
+def test_fig2_shape_nio_response_time_grows_with_load(nio_up):
+    rt = nio_up.response_times_ms
+    assert rt[-1] > 5 * rt[0]
+
+
+def test_fig2_shape_httpd_measured_rt_below_nio_at_saturation(nio_up, httpd_up):
+    assert httpd_up.response_times_ms[-1] < nio_up.response_times_ms[-1]
+
+
+# ---------------------------------------------------------------------------
+# figure 3 shapes: error structure
+# ---------------------------------------------------------------------------
+
+def test_fig3_shape_nio_has_zero_resets(nio_up):
+    assert all(r == 0.0 for r in nio_up.connection_reset_rates)
+
+
+def test_fig3_shape_httpd_resets_grow_with_clients(httpd_up):
+    resets = httpd_up.connection_reset_rates
+    assert max(resets) > 0.0
+    assert resets[-1] >= resets[0]
+
+
+def test_fig3_shape_httpd_more_timeouts_than_nio(nio_up, httpd_up):
+    assert sum(httpd_up.client_timeout_rates) >= sum(nio_up.client_timeout_rates)
+
+
+# ---------------------------------------------------------------------------
+# figure 4 shapes: connection time
+# ---------------------------------------------------------------------------
+
+def test_fig4_shape_nio_connection_time_flat(nio_up):
+    conn_ms = nio_up.connection_times_ms
+    assert all(v < 1.0 for v in conn_ms)
+
+
+def test_fig4_shape_httpd_conn_time_blows_past_pool():
+    # Pool of 64 threads, small backlog: beyond ~64 clients the SYN queue
+    # overflows and connection time jumps by TCP retransmission periods.
+    sweep = mini_sweep(
+        ServerSpec("httpd", 64, backlog=16), SLOW_UP, clients=(30, 240)
+    )
+    below, above = sweep.connection_times_ms
+    assert above > 100 * max(below, 0.1)
+
+
+# ---------------------------------------------------------------------------
+# figure 5/6 shapes: bandwidth-bounded vs CPU-bounded
+# ---------------------------------------------------------------------------
+
+def test_fig5_shape_bandwidth_ceiling_caps_throughput():
+    wire = mini_sweep(ServerSpec.nio(1), NARROW_NET, clients=(20, 160, 320))
+    giga = mini_sweep(ServerSpec.nio(1), SLOW_UP, clients=(20, 160, 320))
+    # The narrow wire caps well below the CPU-bound plateau.
+    assert wire.peak_throughput < 0.7 * giga.peak_throughput
+    # And its plateau corresponds to the link: ~0.47 MB/s of payload.
+    top = wire.points[-1]
+    assert top.bandwidth_mbytes_per_s == pytest.approx(0.47, rel=0.4)
+
+
+def test_fig5_shape_nio_at_least_matches_httpd_on_saturated_wire():
+    wire_nio = mini_sweep(ServerSpec.nio(1), NARROW_NET, clients=(320,))
+    wire_httpd = mini_sweep(ServerSpec.httpd(256), NARROW_NET, clients=(320,))
+    assert wire_nio.peak_throughput >= 0.9 * wire_httpd.peak_throughput
+
+
+def test_fig6_shape_response_times_converge_when_wire_bound():
+    nio = mini_sweep(ServerSpec.nio(1), NARROW_NET, clients=(240,))
+    httpd = mini_sweep(ServerSpec.httpd(256), NARROW_NET, clients=(240,))
+    # Both dictated by the network: same order of magnitude.
+    ratio = nio.response_times_ms[0] / max(httpd.response_times_ms[0], 1e-9)
+    assert 0.2 < ratio < 5.0
+
+
+# ---------------------------------------------------------------------------
+# figure 7-10 shapes: SMP scaling
+# ---------------------------------------------------------------------------
+
+def test_fig9_shape_smp_roughly_doubles_throughput(nio_up):
+    smp = mini_sweep(ServerSpec.nio(2), SLOW_SMP)
+    factor = smp.peak_throughput / nio_up.peak_throughput
+    assert 1.5 < factor < 2.5
+
+
+def test_fig10_shape_smp_cuts_saturated_response_time(nio_up):
+    smp = mini_sweep(ServerSpec.nio(2), SLOW_SMP)
+    assert smp.response_times_ms[-1] < nio_up.response_times_ms[-1]
+
+
+def test_fig7_shape_nio_workers_equivalent_on_smp():
+    two = mini_sweep(ServerSpec.nio(2), SLOW_SMP, clients=(240,))
+    four = mini_sweep(ServerSpec.nio(4), SLOW_SMP, clients=(240,))
+    ratio = two.peak_throughput / four.peak_throughput
+    assert 0.9 < ratio < 1.15
+
+
+# ---------------------------------------------------------------------------
+# crossover analysis used in EXPERIMENTS.md
+# ---------------------------------------------------------------------------
+
+def test_crossover_helper_on_real_sweeps(nio_up, httpd_up):
+    knee = find_crossover(
+        nio_up.clients, nio_up.throughputs, httpd_up.throughputs
+    )
+    # Either the curves never cross in range or the knee is interior.
+    if knee is not None:
+        assert CLIENTS[0] <= knee <= CLIENTS[-1]

@@ -1,0 +1,84 @@
+"""Unit tests for the ASCII chart renderer."""
+
+from repro.metrics.plot import ascii_chart
+
+
+def chart_lines(**kwargs):
+    return ascii_chart(**kwargs).splitlines()
+
+
+def test_empty_chart():
+    assert ascii_chart(series=[]) == "(no data)"
+
+
+def test_single_series_renders_marks_and_axes():
+    out = ascii_chart(
+        series=[("line", [0, 1, 2, 3], [0.0, 1.0, 2.0, 3.0])],
+        width=40,
+        height=10,
+        title="T",
+    )
+    assert "T" in out
+    assert "*" in out
+    assert "-" * 10 in out  # x axis
+    assert "line" in out
+
+
+def test_multiple_series_distinct_marks():
+    out = ascii_chart(
+        series=[
+            ("a", [0, 1, 2], [1.0, 2.0, 3.0]),
+            ("b", [0, 1, 2], [3.0, 2.0, 1.0]),
+        ],
+        width=30,
+        height=8,
+    )
+    assert "*" in out and "o" in out
+    assert "a" in out and "b" in out
+
+
+def test_log_scale_handles_zeroes():
+    out = ascii_chart(
+        series=[("z", [0, 1, 2], [0.0, 10.0, 10_000.0])],
+        logy=True,
+        width=30,
+        height=8,
+    )
+    assert "log y" not in out  # only added when labels given
+    out2 = ascii_chart(
+        series=[("z", [0, 1, 2], [0.0, 10.0, 10_000.0])],
+        logy=True,
+        xlabel="clients",
+        ylabel="ms",
+        width=30,
+        height=8,
+    )
+    assert "log y" in out2
+
+
+def test_flat_series_does_not_crash():
+    out = ascii_chart(
+        series=[("flat", [1, 2, 3], [5.0, 5.0, 5.0])], width=20, height=6
+    )
+    assert "*" in out
+
+
+def test_chart_dimensions_respected():
+    lines = ascii_chart(
+        series=[("s", [0, 10], [0, 10])], width=25, height=7
+    ).splitlines()
+    body = [l for l in lines if "|" in l]
+    assert len(body) == 7
+    assert all(len(l.split("|", 1)[1]) == 25 for l in body)
+
+
+def test_figure_data_chart_integration():
+    from repro.core import FigureData, Series
+
+    fig = FigureData(
+        "figX", "demo", "clients", "replies/s",
+        [Series("nio", [60, 600, 1200], [50.0, 480.0, 900.0])],
+    )
+    out = fig.chart()
+    assert "figX" in out
+    assert "nio" in out

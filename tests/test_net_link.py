@@ -1,0 +1,126 @@
+"""Unit tests for the fluid link model."""
+
+import pytest
+
+from repro.net import DuplexLink, Link, LinkSpec, Network, NetworkSpec
+from repro.sim import SimulationError, Simulator
+
+
+def test_single_transmission_time():
+    sim = Simulator()
+    link = Link(sim, bandwidth_bytes_per_s=1000.0, latency_s=0.1)
+    done = []
+    link.transmit(500).callbacks.append(lambda _e: done.append(sim.now))
+    sim.run()
+    assert done == pytest.approx([0.6])  # 0.5 s serialization + 0.1 s latency
+
+
+def test_fifo_serialization():
+    sim = Simulator()
+    link = Link(sim, 1000.0, latency_s=0.0)
+    done = {}
+    for tag, size in (("a", 500), ("b", 500)):
+        link.transmit(size).callbacks.append(
+            lambda _e, t=tag: done.__setitem__(t, sim.now)
+        )
+    sim.run()
+    assert done["a"] == pytest.approx(0.5)
+    assert done["b"] == pytest.approx(1.0)  # queued behind a
+
+
+def test_queue_delay_reflects_backlog():
+    sim = Simulator()
+    link = Link(sim, 1000.0, latency_s=0.0)
+    assert link.queue_delay() == 0.0
+    link.transmit(2000)
+    assert link.queue_delay() == pytest.approx(2.0)
+
+
+def test_idle_gap_not_charged():
+    sim = Simulator()
+    link = Link(sim, 1000.0, latency_s=0.0)
+    done = []
+    link.transmit(100).callbacks.append(lambda _e: done.append(sim.now))
+    # Transmit again after an idle gap; it starts fresh, not at busy_until.
+    late_done = []
+    sim.call_later(5.0, lambda: link.transmit(100).callbacks.append(
+        lambda _e: late_done.append(sim.now)
+    ))
+    sim.run()
+    assert done == pytest.approx([0.1])
+    assert late_done == pytest.approx([5.1])
+
+
+def test_throughput_capped_at_bandwidth():
+    sim = Simulator()
+    link = Link(sim, 1000.0, latency_s=0.0)
+    done = []
+    for _ in range(100):
+        link.transmit(100).callbacks.append(lambda _e: done.append(sim.now))
+    sim.run()
+    # 10000 bytes at 1000 B/s -> last delivery at t=10.
+    assert max(done) == pytest.approx(10.0)
+    assert link.utilization(10.0) == pytest.approx(1.0)
+
+
+def test_invalid_transmissions():
+    sim = Simulator()
+    link = Link(sim, 1000.0)
+    with pytest.raises(SimulationError):
+        link.transmit(0)
+    with pytest.raises(SimulationError):
+        Link(sim, 0.0)
+    with pytest.raises(SimulationError):
+        Link(sim, 100.0, latency_s=-1.0)
+
+
+def test_duplex_link_directions_independent():
+    sim = Simulator()
+    duplex = DuplexLink(sim, 1000.0, latency_s=0.05)
+    up_done, down_done = [], []
+    duplex.up.transmit(1000).callbacks.append(lambda _e: up_done.append(sim.now))
+    duplex.down.transmit(1000).callbacks.append(lambda _e: down_done.append(sim.now))
+    sim.run()
+    # Full duplex: both complete at 1.05, no mutual queueing.
+    assert up_done == pytest.approx([1.05])
+    assert down_done == pytest.approx([1.05])
+    assert duplex.rtt == pytest.approx(0.1)
+
+
+def test_network_spec_presets():
+    fast = NetworkSpec.fast_ethernet()
+    dual = NetworkSpec.dual_fast_ethernet()
+    gig = NetworkSpec.gigabit()
+    assert len(fast.links) == 1
+    assert len(dual.links) == 2
+    assert dual.total_bandwidth_bytes == pytest.approx(
+        2 * fast.total_bandwidth_bytes
+    )
+    assert gig.total_bandwidth_bytes == pytest.approx(
+        10 * fast.total_bandwidth_bytes
+    )
+
+
+def test_link_spec_payload_bandwidth_below_nominal():
+    spec = LinkSpec(100e6)
+    assert spec.payload_bytes_per_s < 100e6 / 8
+    assert spec.payload_bytes_per_s > 0.9 * 100e6 / 8
+
+
+def test_network_round_robin_assignment():
+    sim = Simulator()
+    net = Network(sim, NetworkSpec.dual_fast_ethernet())
+    assert net.link_for_client(0) is net.duplexes[0]
+    assert net.link_for_client(1) is net.duplexes[1]
+    assert net.link_for_client(2) is net.duplexes[0]
+
+
+def test_network_byte_accounting():
+    sim = Simulator()
+    net = Network(sim, NetworkSpec.gigabit())
+    net.duplexes[0].down.transmit(5000)
+    net.duplexes[0].up.transmit(300)
+    sim.run()
+    assert net.bytes_sent_down() == 5000
+    assert net.bytes_sent_up() == 300
+    assert net.downlink_utilization(1.0) > 0

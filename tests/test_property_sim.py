@@ -1,0 +1,153 @@
+"""Property-based tests (hypothesis) for the simulation kernel and CPU.
+
+Invariants:
+* events process in non-decreasing time order, ties in schedule order;
+* the PS CPU conserves work: total completion span equals total cost when
+  saturated, and every burst finishes no earlier than its cost;
+* completion order under PS follows virtual finish times.
+"""
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.osmodel import CPU
+from repro.sim import Simulator
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    min_size=1,
+    max_size=50,
+)
+
+costs = st.lists(
+    st.floats(min_value=1e-4, max_value=5.0, allow_nan=False),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(delays)
+@settings(max_examples=60, deadline=None)
+def test_events_fire_in_time_order(ds):
+    sim = Simulator()
+    fired = []
+    for d in ds:
+        sim.call_later(d, lambda d=d: fired.append((sim.now, d)))
+    sim.run()
+    times = [t for t, _d in fired]
+    assert times == sorted(times)
+    # Every callback fired exactly at its scheduled delay.
+    assert sorted(d for _t, d in fired) == sorted(ds)
+    for t, d in fired:
+        assert t == d
+
+
+@given(delays)
+@settings(max_examples=30, deadline=None)
+def test_equal_time_events_fire_in_schedule_order(ds):
+    sim = Simulator()
+    order = []
+    t = max(ds)
+    for i, _ in enumerate(ds):
+        sim.call_later(t, order.append, i)
+    sim.run()
+    assert order == list(range(len(ds)))
+
+
+@given(costs)
+@settings(max_examples=50, deadline=None)
+def test_cpu_conserves_work_single_processor(cs):
+    """All bursts submitted at t=0 on 1 CPU finish exactly at sum(costs)."""
+    sim = Simulator()
+    cpu = CPU(sim, nproc=1)
+    finish = []
+    for c in cs:
+        cpu.execute(c).callbacks.append(lambda _e: finish.append(sim.now))
+    sim.run()
+    assert len(finish) == len(cs)
+    assert abs(max(finish) - sum(cs)) <= 1e-6 * max(1.0, sum(cs))
+
+
+@given(costs)
+@settings(max_examples=50, deadline=None)
+def test_cpu_no_burst_beats_its_own_cost(cs):
+    """No burst can finish before its cost (rate is capped at 1 CPU)."""
+    sim = Simulator()
+    cpu = CPU(sim, nproc=4, smp_efficiency=1.0)
+    finish = {}
+    for i, c in enumerate(cs):
+        cpu.execute(c).callbacks.append(
+            lambda _e, i=i: finish.__setitem__(i, sim.now)
+        )
+    sim.run()
+    for i, c in enumerate(cs):
+        assert finish[i] >= c - 1e-9
+
+
+@given(costs)
+@settings(max_examples=50, deadline=None)
+def test_cpu_completion_order_matches_cost_order(cs):
+    """Simultaneous arrivals under equal sharing finish smallest-first."""
+    sim = Simulator()
+    cpu = CPU(sim, nproc=1)
+    done = []
+    for i, c in enumerate(cs):
+        cpu.execute(c).callbacks.append(lambda _e, i=i: done.append(i))
+    sim.run()
+    finished_costs = [cs[i] for i in done]
+    assert finished_costs == sorted(finished_costs)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            st.floats(min_value=1e-3, max_value=2.0, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_cpu_work_conservation_with_arrivals(jobs):
+    """With staggered arrivals, the station is never idle while work
+    remains, so the last completion is exactly:
+    max over prefixes of (arrival_i + remaining work after it)."""
+    sim = Simulator()
+    cpu = CPU(sim, nproc=1)
+    done = []
+    for at, cost in jobs:
+        sim.call_later(
+            at,
+            lambda c=cost: cpu.execute(c).callbacks.append(
+                lambda _e: done.append(sim.now)
+            ),
+        )
+    sim.run()
+    assert len(done) == len(jobs)
+    # Busy-period analysis for a work-conserving single server.
+    expected_end = 0.0
+    for at, cost in sorted(jobs):
+        start = max(expected_end, at)
+        expected_end = start + cost
+    assert abs(max(done) - expected_end) <= 1e-6 * max(1.0, expected_end)
+
+
+@given(
+    costs,
+    st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=40, deadline=None)
+def test_cpu_more_processors_never_slower(cs, nproc):
+    def makespan(n):
+        sim = Simulator()
+        cpu = CPU(sim, nproc=n, smp_efficiency=1.0)
+        finish = []
+        for c in cs:
+            cpu.execute(c).callbacks.append(lambda _e: finish.append(sim.now))
+        sim.run()
+        return max(finish)
+
+    assert makespan(nproc + 1) <= makespan(nproc) + 1e-9

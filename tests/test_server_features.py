@@ -1,0 +1,154 @@
+"""Tests for the extended server features: dynamic pools, partitioned
+selectors."""
+
+import pytest
+
+from repro.core import Experiment, ServerSpec, WorkloadSpec
+from repro.net import ListenSocket
+from repro.osmodel import Machine, MachineSpec
+from repro.servers import EventDrivenServer, ThreadPoolServer
+from repro.sim import Simulator
+
+
+def run_spec(spec, clients=40, duration=20.0, warmup=10.0, cpus=1, seed=7):
+    return Experiment(
+        server=spec,
+        workload=WorkloadSpec(
+            clients=clients, duration=duration, warmup=warmup, n_files=100
+        ),
+        machine=MachineSpec(cpus=cpus),
+        seed=seed,
+    ).run()
+
+
+# ---------------------------------------------------------------------------
+# dynamic thread pool (MinSpareThreads / MaxSpareThreads)
+# ---------------------------------------------------------------------------
+
+def test_dynamic_pool_grows_under_load():
+    spec = ServerSpec("httpd", 512, dynamic_pool=True)
+    m = run_spec(spec, clients=120, duration=25.0, warmup=15.0)
+    # Started with 64 initial threads; load forces growth.
+    assert m.server_stats["live_workers"] > 64
+    assert m.server_stats["live_workers"] <= 512
+    assert m.replies > 100
+
+
+def test_dynamic_pool_serves_like_static_when_warm():
+    static = run_spec(ServerSpec.httpd(256), clients=60)
+    dynamic = run_spec(ServerSpec("httpd", 256, dynamic_pool=True), clients=60)
+    assert dynamic.throughput_rps == pytest.approx(
+        static.throughput_rps, rel=0.15
+    )
+
+
+def test_dynamic_pool_shrinks_after_burst():
+    sim = Simulator()
+    machine = Machine(sim, MachineSpec())
+    listener = ListenSocket(sim, machine)
+    server = ThreadPoolServer(
+        sim, machine, listener,
+        pool_size=400, dynamic=True, initial_threads=300,
+        min_spare=10, max_spare=50,
+    )
+    server.start()
+    # No load at all: idle = live; the manager retires the surplus.
+    sim.run(until=30.0)
+    assert server.live_workers < 300
+    assert machine.threads.live == server.live_workers
+
+
+def test_dynamic_pool_validation():
+    sim = Simulator()
+    machine = Machine(sim, MachineSpec())
+    listener = ListenSocket(sim, machine)
+    with pytest.raises(ValueError):
+        ThreadPoolServer(
+            sim, machine, listener, dynamic=True, min_spare=50, max_spare=10
+        )
+
+
+def test_dynamic_pool_survives_thread_limit():
+    """Hitting the platform thread limit degrades, never crashes."""
+    sim = Simulator()
+    machine = Machine(sim, MachineSpec(max_threads=80))
+    listener = ListenSocket(sim, machine)
+    server = ThreadPoolServer(
+        sim, machine, listener,
+        pool_size=500, dynamic=True, initial_threads=60, min_spare=100,
+    )
+    server.start()
+    sim.run(until=10.0)
+    assert server.live_workers <= 80
+    assert server.spawn_failures > 0
+
+
+# ---------------------------------------------------------------------------
+# partitioned selectors
+# ---------------------------------------------------------------------------
+
+def test_partitioned_selectors_create_one_per_worker():
+    sim = Simulator()
+    machine = Machine(sim, MachineSpec(cpus=4))
+    listener = ListenSocket(sim, machine)
+    server = EventDrivenServer(
+        sim, machine, listener, workers=3, selector_strategy="partitioned"
+    )
+    assert len(server.selectors) == 3
+    shared = EventDrivenServer(
+        sim, machine, listener, workers=3, selector_strategy="shared"
+    )
+    assert len(shared.selectors) == 1
+
+
+def test_selector_strategy_validation():
+    sim = Simulator()
+    machine = Machine(sim, MachineSpec())
+    listener = ListenSocket(sim, machine)
+    with pytest.raises(ValueError):
+        EventDrivenServer(
+            sim, machine, listener, selector_strategy="work-stealing"
+        )
+
+
+def test_partitioned_strategy_serves_equivalently():
+    shared = run_spec(
+        ServerSpec("nio", 2, selector_strategy="shared"), clients=60, cpus=4
+    )
+    partitioned = run_spec(
+        ServerSpec("nio", 2, selector_strategy="partitioned"),
+        clients=60, cpus=4,
+    )
+    assert partitioned.throughput_rps == pytest.approx(
+        shared.throughput_rps, rel=0.1
+    )
+    assert partitioned.connection_reset_rate == 0.0
+    assert partitioned.server_stats["selector_strategy"] == "partitioned"
+
+
+def test_partitioned_connections_spread_across_selectors():
+    sim = Simulator()
+    machine = Machine(sim, MachineSpec(cpus=4))
+    listener = ListenSocket(sim, machine)
+    server = EventDrivenServer(
+        sim, machine, listener, workers=2, selector_strategy="partitioned"
+    )
+    server.start()
+
+    from repro.net import Connection
+    from repro.net.link import DuplexLink
+
+    duplex = DuplexLink(sim, 1e7, 0.0002)
+
+    def client(i):
+        conn = Connection(sim, duplex, listener)
+        yield from conn.connect()
+        yield sim.timeout(5.0)
+        conn.client_close()
+
+    for i in range(8):
+        sim.process(client(i))
+    sim.run(until=2.0)
+    counts = [s.registered_count for s in server.selectors]
+    assert sum(counts) == 8
+    assert counts[0] == counts[1] == 4  # round-robin assignment

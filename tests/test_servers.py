@@ -1,0 +1,220 @@
+"""Behavioural tests of the four server-architecture models.
+
+These run miniature end-to-end experiments (tens of clients, seconds of
+simulated time) and assert the *architectural* contrasts the paper is
+about: thread binding vs multiplexing, idle reaping vs never reaping,
+backlog blowup vs flat connection times.
+"""
+
+import pytest
+
+from repro.core import Experiment, ServerSpec, WorkloadSpec
+from repro.osmodel import MachineSpec
+from repro.workload import SurgeConfig
+
+
+def run_mini(
+    spec,
+    clients=30,
+    duration=30.0,
+    warmup=10.0,
+    cpus=1,
+    surge=None,
+    seed=7,
+):
+    workload = WorkloadSpec(
+        clients=clients,
+        duration=duration,
+        warmup=warmup,
+        n_files=100,
+        surge=surge or SurgeConfig(),
+    )
+    return Experiment(
+        server=spec,
+        workload=workload,
+        machine=MachineSpec(cpus=cpus),
+        seed=seed,
+    ).run()
+
+
+#: Think times guaranteed to outlive a 15 s idle timeout.
+LONG_THINKS = SurgeConfig(think_k=20.0, think_max=25.0, groups_per_session=2.5)
+
+
+# ---------------------------------------------------------------------------
+# basic service
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        ServerSpec.nio(1),
+        ServerSpec.nio(4),
+        ServerSpec.httpd(64),
+        ServerSpec.staged(2),
+        ServerSpec.amped(2),
+    ],
+    ids=lambda s: s.label,
+)
+def test_every_architecture_serves_requests(spec):
+    m = run_mini(spec, clients=20, duration=20.0)
+    assert m.replies > 100
+    assert m.throughput_rps > 5.0
+    assert m.response_time_mean < 0.5
+    assert m.client_timeout_rate == 0.0
+
+
+def test_throughput_tracks_offered_load_when_underloaded():
+    m_small = run_mini(ServerSpec.nio(1), clients=10, duration=20.0)
+    m_large = run_mini(ServerSpec.nio(1), clients=40, duration=20.0)
+    ratio = m_large.throughput_rps / m_small.throughput_rps
+    assert 2.5 < ratio < 6.0  # ~4x clients -> ~4x replies/s
+
+
+# ---------------------------------------------------------------------------
+# reset behaviour (paper fig 3b)
+# ---------------------------------------------------------------------------
+
+def test_httpd_resets_on_long_thinks():
+    m = run_mini(
+        ServerSpec.httpd(64), clients=20, duration=60.0, warmup=20.0,
+        surge=LONG_THINKS,
+    )
+    assert m.connection_reset_rate > 0.05
+    assert m.server_stats["idle_reaps"] > 0
+
+
+def test_nio_never_resets_even_on_long_thinks():
+    m = run_mini(
+        ServerSpec.nio(1), clients=20, duration=60.0, warmup=20.0,
+        surge=LONG_THINKS,
+    )
+    assert m.connection_reset_rate == 0.0
+
+
+def test_httpd_infinite_idle_timeout_eliminates_resets():
+    m = run_mini(
+        ServerSpec.httpd(64, idle_timeout=1e9), clients=20,
+        duration=60.0, warmup=20.0, surge=LONG_THINKS,
+    )
+    assert m.connection_reset_rate == 0.0
+
+
+def test_shorter_idle_timeout_increases_resets():
+    thinks = SurgeConfig(think_k=6.0, think_max=12.0, groups_per_session=2.5)
+    slow = run_mini(
+        ServerSpec.httpd(64, idle_timeout=15.0), clients=20,
+        duration=60.0, warmup=20.0, surge=thinks,
+    )
+    fast = run_mini(
+        ServerSpec.httpd(64, idle_timeout=5.0), clients=20,
+        duration=60.0, warmup=20.0, surge=thinks,
+    )
+    assert fast.connection_reset_rate > slow.connection_reset_rate
+    assert slow.connection_reset_rate == 0.0  # thinks capped at 12 s < 15 s
+
+
+# ---------------------------------------------------------------------------
+# pool exhaustion (paper fig 4)
+# ---------------------------------------------------------------------------
+
+def test_httpd_small_pool_degrades_connection_time():
+    small = run_mini(
+        ServerSpec("httpd", 4, backlog=8), clients=60, duration=25.0
+    )
+    large = run_mini(ServerSpec.httpd(256), clients=60, duration=25.0)
+    assert small.connection_time_mean > 10 * large.connection_time_mean
+    assert small.client_timeout_rate > 0.0
+    assert large.client_timeout_rate == 0.0
+
+
+def test_nio_connection_time_flat_regardless_of_load():
+    light = run_mini(ServerSpec.nio(1), clients=5, duration=20.0)
+    heavy = run_mini(ServerSpec.nio(1), clients=60, duration=20.0)
+    # Both in the sub-millisecond RTT regime.
+    assert light.connection_time_mean < 0.002
+    assert heavy.connection_time_mean < 0.002
+
+
+def test_httpd_syn_drops_counted_under_exhaustion():
+    m = run_mini(
+        ServerSpec("httpd", 2, backlog=4), clients=80, duration=25.0
+    )
+    assert m.server_stats["syns_dropped"] > 0
+
+
+def test_backlog_timeouts_without_syn_drops_when_backlog_large():
+    # A big backlog absorbs the handshakes (flat connection time) but the
+    # pool still cannot serve everyone: clients die waiting for replies.
+    m = run_mini(ServerSpec.httpd(2), clients=80, duration=25.0)
+    assert m.server_stats["syns_dropped"] == 0
+    assert m.client_timeout_rate > 0.0
+
+
+# ---------------------------------------------------------------------------
+# threads and memory
+# ---------------------------------------------------------------------------
+
+def test_httpd_spawns_whole_pool():
+    m = run_mini(ServerSpec.httpd(128), clients=10, duration=10.0)
+    assert m.server_stats["threads_peak"] == 128
+    assert m.server_stats["pool_size"] == 128
+
+
+def test_nio_uses_workers_plus_acceptor():
+    m = run_mini(ServerSpec.nio(3), clients=10, duration=10.0)
+    assert m.server_stats["threads_peak"] == 4  # 3 workers + acceptor
+    assert m.server_stats["workers"] == 3
+
+
+def test_jvm_factor_slows_nio():
+    fast = run_mini(ServerSpec.nio(1, jvm_factor=1.0), clients=40, duration=20.0)
+    slow = run_mini(ServerSpec.nio(1, jvm_factor=3.0), clients=40, duration=20.0)
+    assert slow.cpu_utilization > 1.5 * fast.cpu_utilization
+
+
+def test_staged_reports_handoffs():
+    m = run_mini(ServerSpec.staged(2), clients=20, duration=15.0)
+    assert m.server_stats["stage_handoffs"] > 0
+
+
+def test_amped_reports_helper_completions():
+    m = run_mini(ServerSpec.amped(3), clients=20, duration=15.0)
+    assert m.server_stats["io_completions"] > 0
+    assert m.server_stats["helpers"] == 3
+
+
+# ---------------------------------------------------------------------------
+# determinism
+# ---------------------------------------------------------------------------
+
+def test_runs_are_deterministic_for_a_seed():
+    a = run_mini(ServerSpec.nio(2), clients=25, duration=15.0, seed=11)
+    b = run_mini(ServerSpec.nio(2), clients=25, duration=15.0, seed=11)
+    assert a.replies == b.replies
+    assert a.response_time_mean == b.response_time_mean
+    assert a.errors == b.errors
+
+
+def test_different_seeds_differ():
+    a = run_mini(ServerSpec.nio(2), clients=25, duration=15.0, seed=11)
+    b = run_mini(ServerSpec.nio(2), clients=25, duration=15.0, seed=12)
+    assert a.replies != b.replies
+
+
+# ---------------------------------------------------------------------------
+# config validation
+# ---------------------------------------------------------------------------
+
+def test_server_spec_validation():
+    with pytest.raises(ValueError):
+        ServerSpec("bogus", 1)
+    with pytest.raises(ValueError):
+        ServerSpec("nio", 0)
+
+
+def test_workload_spec_validation():
+    with pytest.raises(ValueError):
+        WorkloadSpec(clients=0)
+    with pytest.raises(ValueError):
+        WorkloadSpec(clients=10, duration=-1.0)

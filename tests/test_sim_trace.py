@@ -1,0 +1,97 @@
+"""Tests for the tracing subsystem."""
+
+import pytest
+
+from repro.core import Experiment, ServerSpec, WorkloadSpec
+from repro.sim import Simulator, TraceEvent, Tracer
+from repro.workload import SurgeConfig
+
+
+def test_emit_and_query():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    tracer.emit("conn", "established", conn=1)
+    sim.run(until=5.0)
+    tracer.emit("error", "reset_observed", conn=1)
+    assert len(tracer) == 2
+    assert tracer.count("conn") == 1
+    assert tracer.count("error", "reset_observed") == 1
+    (late,) = tracer.events(since=1.0)
+    assert late.category == "error"
+    assert late.time == 5.0
+
+
+def test_category_filtering():
+    sim = Simulator()
+    tracer = Tracer(sim, categories={"error"})
+    assert tracer.wants("error")
+    assert not tracer.wants("conn")
+    tracer.emit("conn", "established")
+    tracer.emit("error", "syn_drop")
+    assert len(tracer) == 1
+    assert tracer.events()[0].action == "syn_drop"
+
+
+def test_ring_buffer_eviction_keeps_counts():
+    sim = Simulator()
+    tracer = Tracer(sim, capacity=10)
+    for i in range(25):
+        tracer.emit("conn", "established", conn=i)
+    assert len(tracer) == 10
+    assert tracer.dropped == 15
+    assert tracer.count("conn", "established") == 25
+    assert "evicted" in tracer.summary()
+
+
+def test_event_str_and_summary():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    tracer.emit("server", "idle_reap", conn=42)
+    text = str(tracer.events()[0])
+    assert "server/idle_reap" in text
+    assert "conn=42" in text
+    assert "server/idle_reap: 1" in tracer.summary()
+    assert Tracer(sim).summary() == "(no events)"
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        Tracer(Simulator(), capacity=0)
+
+
+def test_experiment_traces_connection_lifecycle():
+    exp = Experiment(
+        server=ServerSpec.httpd(16),
+        workload=WorkloadSpec(
+            clients=10, duration=30.0, warmup=10.0, n_files=50,
+            surge=SurgeConfig(
+                think_k=20.0, think_max=25.0, groups_per_session=2.0
+            ),
+        ),
+        trace=("conn", "error", "server"),
+    )
+    exp.run()
+    tracer = exp.tracer
+    assert tracer is not None
+    assert tracer.count("conn", "established") > 0
+    # Long thinks against the 15 s reap: reaps and observed resets traced.
+    assert tracer.count("server", "idle_reap") > 0
+    assert tracer.count("error", "reset_observed") > 0
+    assert tracer.count("conn", "server_close") >= tracer.count(
+        "server", "idle_reap"
+    )
+
+
+def test_experiment_without_trace_has_no_tracer():
+    exp = Experiment(
+        server=ServerSpec.nio(1),
+        workload=WorkloadSpec(clients=5, duration=5.0, warmup=2.0, n_files=50),
+    )
+    exp.run()
+    assert exp.tracer is None
+
+
+def test_trace_event_is_frozen():
+    ev = TraceEvent(1.0, "conn", "established", {})
+    with pytest.raises(Exception):
+        ev.time = 2.0  # type: ignore[misc]

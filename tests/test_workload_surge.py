@@ -1,0 +1,100 @@
+"""Unit tests for the SURGE session model."""
+
+import numpy as np
+import pytest
+
+from repro.http import FilePopulation
+from repro.workload import SurgeConfig, SurgeWorkload
+
+
+def make_workload(config=None):
+    rng = np.random.default_rng(31)
+    files = FilePopulation(rng, n_files=300)
+    return SurgeWorkload(files, config)
+
+
+def test_session_plan_structure():
+    w = make_workload()
+    plan = w.sample_session(np.random.default_rng(1))
+    assert len(plan.groups) >= 1
+    assert all(len(g) >= 1 for g in plan.groups)
+    assert len(plan.think_times) == len(plan.groups) - 1
+    assert plan.inter_session_gap >= 0
+    assert plan.total_requests == sum(len(g) for g in plan.groups)
+
+
+def test_requests_per_session_near_paper_value():
+    w = make_workload()
+    rng = np.random.default_rng(2)
+    mean_reqs = np.mean(
+        [w.sample_session(rng).total_requests for _ in range(5000)]
+    )
+    # The paper: ~6.5 requests per session on average.
+    assert 5.0 < mean_reqs < 8.0
+
+
+def test_group_sizes_respect_pipeline_cap():
+    cfg = SurgeConfig(max_group_size=3)
+    w = make_workload(cfg)
+    rng = np.random.default_rng(3)
+    for _ in range(500):
+        plan = w.sample_session(rng)
+        assert all(len(g) <= 3 for g in plan.groups)
+
+
+def test_requests_carry_population_sizes():
+    w = make_workload()
+    plan = w.sample_session(np.random.default_rng(4))
+    for group in plan.groups:
+        for req in group:
+            assert req.response_bytes == w.files.size_of(req.file_id)
+            assert req.path == f"/file/{req.file_id}"
+
+
+def test_think_times_bounded():
+    cfg = SurgeConfig(think_max=30.0)
+    w = make_workload(cfg)
+    rng = np.random.default_rng(5)
+    thinks = []
+    for _ in range(3000):
+        thinks.extend(w.sample_session(rng).think_times)
+    assert max(thinks) <= 30.0
+    assert min(thinks) >= cfg.think_k
+
+
+def test_sampling_deterministic_for_seed():
+    w = make_workload()
+    p1 = w.sample_session(np.random.default_rng(6))
+    p2 = w.sample_session(np.random.default_rng(6))
+    assert p1.total_requests == p2.total_requests
+    assert p1.think_times == p2.think_times
+    assert [r.file_id for g in p1.groups for r in g] == [
+        r.file_id for g in p2.groups for r in g
+    ]
+
+
+def test_offered_load_estimate_positive_and_sane():
+    w = make_workload()
+    load = w.offered_load_per_client()
+    # Calibrated to ~1 request/s per client (see SurgeConfig docs).
+    assert 0.5 < load < 2.0
+
+
+def test_reset_exposure_probability():
+    w = make_workload()
+    p = w.reset_exposure_probability(15.0)
+    assert 0.001 < p < 0.02
+    assert w.reset_exposure_probability(5.0) > p
+
+
+def test_no_inter_session_think_config():
+    cfg = SurgeConfig(inter_session_think=False)
+    w = make_workload(cfg)
+    plan = w.sample_session(np.random.default_rng(8))
+    assert plan.inter_session_gap == 0.0
+
+
+def test_mean_requests_analytic_estimate():
+    cfg = SurgeConfig()
+    est = cfg.mean_requests_per_session()
+    assert 5.0 < est < 9.0
