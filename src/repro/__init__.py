@@ -37,6 +37,15 @@ from .core import (
     sweep_clients,
 )
 from .metrics import RunMetrics, format_table
+from .overload import (
+    AdaptiveTimeout,
+    AdmissionPolicy,
+    AlwaysAdmit,
+    BacklogThreshold,
+    CoDelShedder,
+    OverloadControl,
+    TokenBucket,
+)
 
 __version__ = "1.0.0"
 
@@ -57,5 +66,12 @@ __all__ = [
     "sweep_clients",
     "RunMetrics",
     "format_table",
+    "AdaptiveTimeout",
+    "AdmissionPolicy",
+    "AlwaysAdmit",
+    "BacklogThreshold",
+    "CoDelShedder",
+    "OverloadControl",
+    "TokenBucket",
     "__version__",
 ]

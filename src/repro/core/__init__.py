@@ -23,6 +23,7 @@ from .params import (
     WorkloadSpec,
 )
 from .scenarios import (
+    OVERLOAD_UP,
     PROFILES,
     SMP_GIGABIT,
     UP_DUAL_FAST_ETHERNET,
@@ -57,6 +58,7 @@ __all__ = [
     "PAPER_CLIENT_RANGE",
     "ServerSpec",
     "WorkloadSpec",
+    "OVERLOAD_UP",
     "PROFILES",
     "SMP_GIGABIT",
     "UP_DUAL_FAST_ETHERNET",

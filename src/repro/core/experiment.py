@@ -41,17 +41,20 @@ def build_server(
 
     costs = machine.spec.base_costs()
     semantics = HttpSemantics(keep_alive=spec.keep_alive)
+    overload = spec.overload
     if spec.kind == "nio":
         return EventDrivenServer(
             sim, machine, listener,
             workers=spec.threads, jvm_factor=spec.jvm_factor, costs=costs,
             selector_strategy=spec.selector_strategy, semantics=semantics,
+            overload=overload,
         )
     if spec.kind == "httpd":
         return ThreadPoolServer(
             sim, machine, listener,
             pool_size=spec.threads, idle_timeout=spec.idle_timeout,
             costs=costs, dynamic=spec.dynamic_pool, semantics=semantics,
+            overload=overload,
         )
     if spec.kind == "staged":
         from ..servers.staged import StagedServer
@@ -59,14 +62,14 @@ def build_server(
         return StagedServer(
             sim, machine, listener,
             threads_per_stage=spec.threads, jvm_factor=spec.jvm_factor,
-            costs=costs, semantics=semantics,
+            costs=costs, semantics=semantics, overload=overload,
         )
     if spec.kind == "amped":
         from ..servers.amped import AmpedServer
 
         return AmpedServer(
             sim, machine, listener, helpers=spec.helpers, costs=costs,
-            semantics=semantics,
+            semantics=semantics, overload=overload,
         )
     raise ValueError(f"unknown server kind {spec.kind!r}")
 
@@ -93,6 +96,11 @@ class Experiment:
     def run(self) -> RunMetrics:
         """Build the testbed, run to steady state, return the measurements."""
         sim = Simulator()
+        if self.server.overload is not None:
+            # Overload-control state (token buckets, CoDel timers,
+            # counters) must not leak between sweep points: same seed =>
+            # same shed decisions.
+            self.server.overload.reset()
         streams = RandomStreams(self.seed)
         machine = Machine(sim, self.machine)
         if self.trace:

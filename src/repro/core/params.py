@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from ..overload import OverloadControl
 from ..workload.httperf import HttperfConfig
 from ..workload.surge import SurgeConfig
 
@@ -62,6 +63,10 @@ class ServerSpec:
     #: HTTP/1.1 persistent connections (False = HTTP/1.0 close-per-reply;
     #: pair with HttperfConfig(new_connection_per_request=True)).
     keep_alive: bool = True
+    #: Overload-control policies to mount (admission, queue discipline,
+    #: adaptive timeout).  The control's state is reset at the start of
+    #: every Experiment.run(), so one spec can be swept deterministically.
+    overload: Optional[OverloadControl] = None
 
     def __post_init__(self) -> None:
         if self.kind not in {"nio", "httpd", "staged", "amped"}:
@@ -72,7 +77,10 @@ class ServerSpec:
     @property
     def label(self) -> str:
         unit = "t" if self.kind == "httpd" else "w"
-        return f"{self.kind}-{self.threads}{unit}"
+        base = f"{self.kind}-{self.threads}{unit}"
+        if self.overload is not None and self.overload.tag:
+            base += f"+{self.overload.tag}"
+        return base
 
     # -- convenience constructors -----------------------------------------
     @staticmethod

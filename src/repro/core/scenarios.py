@@ -33,6 +33,7 @@ __all__ = [
     "UP_FAST_ETHERNET",
     "UP_DUAL_FAST_ETHERNET",
     "SMP_GIGABIT",
+    "OVERLOAD_UP",
     "MeasurementProfile",
     "PROFILES",
     "active_profile",
@@ -56,6 +57,16 @@ UP_DUAL_FAST_ETHERNET = Scenario(
     "UP-200M", MachineSpec(cpus=1), NetworkSpec.dual_fast_ethernet()
 )
 SMP_GIGABIT = Scenario("SMP-1G", MachineSpec(cpus=4), NetworkSpec.gigabit())
+
+#: Overload testbed: a deliberately under-provisioned SUT (quarter-speed
+#: CPU, half the memory) that saturates well inside the paper's client
+#: range, so benchmarks reach the retrograde region — where shedding
+#: policies matter — at a fraction of the sweep cost.
+OVERLOAD_UP = Scenario(
+    "UP-overload",
+    MachineSpec(cpus=1, cpu_speed=0.25, memory_bytes=1024**3),
+    NetworkSpec.gigabit(),
+)
 
 
 @dataclass(frozen=True)

@@ -13,23 +13,42 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from typing import Optional
 
 from ..http.parser import ParseError, RequestParser, render_response_head
+from ..overload import OverloadControl, Signals
 from .docroot import DocRoot
 
 __all__ = ["AsyncioEventServer"]
 
 
 class AsyncioEventServer:
-    """Single-threaded, selector-driven HTTP/1.1 server."""
+    """Single-threaded, selector-driven HTTP/1.1 server.
 
-    def __init__(self, docroot: DocRoot, host: str = "127.0.0.1", port: int = 0):
+    Accepts the same :class:`~repro.overload.OverloadControl` as the
+    simulated servers: the admission policy is consulted per accepted
+    connection (shed = close immediately), with the count of concurrently
+    open connections against ``max_connections`` as the pressure signal.
+    """
+
+    def __init__(
+        self,
+        docroot: DocRoot,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        overload: Optional[OverloadControl] = None,
+        max_connections: int = 1024,
+    ):
         self.docroot = docroot
         self.host = host
         self.port = port
+        self.overload = overload
+        self.max_connections = max_connections
         self.requests_served = 0
         self.connections_accepted = 0
+        self.requests_shed = 0
+        self.open_connections = 0
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._thread: Optional[threading.Thread] = None
@@ -82,6 +101,21 @@ class AsyncioEventServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self.connections_accepted += 1
+        if self.overload is not None:
+            signals = Signals(
+                queue_depth=self.open_connections,
+                queue_capacity=self.max_connections,
+                pressure=min(
+                    1.0, self.open_connections / self.max_connections
+                ),
+            )
+            if not self.overload.admission.on_arrival(
+                time.monotonic(), signals
+            ):
+                self.requests_shed += 1
+                writer.close()
+                return
+        self.open_connections += 1
         parser = RequestParser()
         try:
             while True:
@@ -102,6 +136,7 @@ class AsyncioEventServer:
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
+            self.open_connections -= 1
             writer.close()
 
     async def _respond(self, writer: asyncio.StreamWriter, request) -> bool:

@@ -20,13 +20,40 @@ __all__ = ["LiveStats", "run_load"]
 
 @dataclass
 class LiveStats:
-    """Outcome of one live load run."""
+    """Outcome of one live load run.
+
+    Errors are bucketed the way httperf (and the paper) reports them:
+    client timeouts (connect vs read phases, mirroring httperf's
+    ``client-timo``) separately from connection resets (``connreset``),
+    so the live servers' failure *mode* — not just failure count — is
+    observable.
+    """
 
     duration: float
     replies: int = 0
-    errors: int = 0
     bytes_received: int = 0
+    connect_timeouts: int = 0
+    connect_errors: int = 0
+    read_timeouts: int = 0
+    resets: int = 0
+    other_errors: int = 0
     latencies: List[float] = field(default_factory=list)
+
+    @property
+    def errors(self) -> int:
+        """Total failed clients across all error classes."""
+        return (
+            self.connect_timeouts
+            + self.connect_errors
+            + self.read_timeouts
+            + self.resets
+            + self.other_errors
+        )
+
+    @property
+    def client_timeouts(self) -> int:
+        """httperf's client-timo: timeouts in any phase."""
+        return self.connect_timeouts + self.read_timeouts
 
     @property
     def throughput_rps(self) -> float:
@@ -66,11 +93,18 @@ async def _client(
     stats: LiveStats,
     rng: np.random.Generator,
 ) -> None:
-    reader = writer = None
+    writer = None
     try:
         reader, writer = await asyncio.wait_for(
             asyncio.open_connection(host, port), timeout
         )
+    except asyncio.TimeoutError:
+        stats.connect_timeouts += 1
+        return
+    except OSError:
+        stats.connect_errors += 1
+        return
+    try:
         for i in range(requests):
             path = paths[int(rng.integers(len(paths)))]
             request = (
@@ -80,14 +114,26 @@ async def _client(
             t0 = time.perf_counter()
             writer.write(request)
             await writer.drain()
-            nbytes = await asyncio.wait_for(_read_response(reader), timeout)
+            try:
+                nbytes = await asyncio.wait_for(_read_response(reader), timeout)
+            except asyncio.TimeoutError:
+                stats.read_timeouts += 1
+                return
             stats.latencies.append(time.perf_counter() - t0)
             stats.replies += 1
             stats.bytes_received += nbytes
             if think_time > 0 and i + 1 < requests:
                 await asyncio.sleep(float(rng.exponential(think_time)))
-    except (asyncio.TimeoutError, OSError, asyncio.IncompleteReadError):
-        stats.errors += 1
+    except (
+        ConnectionResetError,
+        BrokenPipeError,
+        asyncio.IncompleteReadError,
+    ):
+        # The server closed/reset the connection under us — the live
+        # analogue of httperf's connreset error class.
+        stats.resets += 1
+    except OSError:
+        stats.other_errors += 1
     finally:
         if writer is not None:
             writer.close()

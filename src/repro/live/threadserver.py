@@ -11,16 +11,25 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 from typing import List, Optional
 
 from ..http.parser import ParseError, RequestParser, render_response_head
+from ..overload import OverloadControl, Signals
 from .docroot import DocRoot
 
 __all__ = ["ThreadPoolHttpServer"]
 
 
 class ThreadPoolHttpServer:
-    """Blocking-I/O server with one thread bound per active connection."""
+    """Blocking-I/O server with one thread bound per active connection.
+
+    A mounted :class:`~repro.overload.OverloadControl` — the *same*
+    policy objects the simulated servers mount — drives real sockets:
+    admission is consulted as each connection is accepted (shed = close
+    before reading a byte), and an adaptive timeout replaces the fixed
+    idle timeout, tightening as pool occupancy rises.
+    """
 
     def __init__(
         self,
@@ -30,6 +39,7 @@ class ThreadPoolHttpServer:
         host: str = "127.0.0.1",
         port: int = 0,
         backlog: int = 128,
+        overload: Optional[OverloadControl] = None,
     ):
         if pool_size < 1:
             raise ValueError("pool size must be >= 1")
@@ -39,8 +49,11 @@ class ThreadPoolHttpServer:
         self.host = host
         self.port = port
         self.backlog = backlog
+        self.overload = overload
         self.requests_served = 0
         self.connections_accepted = 0
+        self.requests_shed = 0
+        self.active_connections = 0
         self.idle_reaps = 0
         self._sock: Optional[socket.socket] = None
         self._threads: List[threading.Thread] = []
@@ -91,19 +104,51 @@ class ThreadPoolHttpServer:
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             with self._lock:
                 self.connections_accepted += 1
+                admitted = self._admit_locked()
+            if not admitted:
+                try:
+                    conn.close()  # shed: refuse before reading a byte
+                except OSError:
+                    pass
+                continue
             try:
                 self._serve_connection(conn)
             finally:
+                with self._lock:
+                    self.active_connections -= 1
                 try:
                     conn.close()
                 except OSError:
                     pass
 
+    def _admit_locked(self) -> bool:
+        """Consult the admission policy; caller holds ``self._lock``."""
+        if self.overload is not None:
+            signals = Signals(
+                queue_depth=self.active_connections,
+                queue_capacity=self.pool_size,
+                pressure=min(1.0, self.active_connections / self.pool_size),
+            )
+            if not self.overload.admission.on_arrival(
+                time.monotonic(), signals
+            ):
+                self.requests_shed += 1
+                return False
+        self.active_connections += 1
+        return True
+
+    def _idle_timeout_now(self) -> float:
+        """Idle timeout to apply (adaptive when a controller is mounted)."""
+        if self.overload is None:
+            return self.idle_timeout
+        pressure = min(1.0, self.active_connections / self.pool_size)
+        return self.overload.idle_timeout(self.idle_timeout, pressure)
+
     def _serve_connection(self, conn: socket.socket) -> None:
         """One thread bound to one connection, blocking I/O throughout."""
-        conn.settimeout(self.idle_timeout)
         parser = RequestParser()
         while not self._stopping.is_set():
+            conn.settimeout(self._idle_timeout_now())
             try:
                 data = conn.recv(64 * 1024)
             except socket.timeout:

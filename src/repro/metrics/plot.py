@@ -21,7 +21,12 @@ def _nice_ticks(lo: float, hi: float, n: int) -> List[float]:
     if hi <= lo:
         hi = lo + 1.0
     span = hi - lo
-    step = 10 ** math.floor(math.log10(span / max(1, n)))
+    raw = span / max(1, n)
+    if raw <= 0.0 or not math.isfinite(raw):
+        return [lo, hi]  # subnormal/degenerate span: no round step exists
+    step = 10 ** math.floor(math.log10(raw))
+    if step <= 0.0:
+        return [lo, hi]
     for mult in (1, 2, 5, 10):
         if span / (step * mult) <= n:
             step *= mult
@@ -29,7 +34,7 @@ def _nice_ticks(lo: float, hi: float, n: int) -> List[float]:
     first = math.ceil(lo / step) * step
     ticks = []
     t = first
-    while t <= hi + 1e-12:
+    while t <= hi + step * 1e-9:
         ticks.append(t)
         t += step
     return ticks or [lo, hi]

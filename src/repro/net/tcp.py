@@ -118,6 +118,7 @@ class Connection:
         "in_flight",
         "inbox",
         "watcher",
+        "_backlog_since",
         "_established_ev",
         "_syn_accepted",
         "_recv_pending",
@@ -146,6 +147,7 @@ class Connection:
         self.in_flight = 0
         self.inbox = Store(sim)
         self.watcher = None  # selector, for event-driven servers
+        self._backlog_since: Optional[float] = None  # accept-queue entry time
         self._established_ev = Event(sim)
         self._syn_accepted = False
         self._recv_pending: Deque[PendingResponse] = deque()
@@ -417,6 +419,13 @@ class ListenSocket:
     must retransmit), and each drop costs the SUT a little CPU — the
     "overhead of rejecting a huge number of connections" the paper blames
     for httpd2's degradation at extreme load.
+
+    A mounted :class:`~repro.overload.OverloadControl` turns the accident
+    into policy: its admission policy is consulted *before* the kernel
+    checks (deliberate SYN shedding), its queue discipline orders the
+    backlog (FIFO/LIFO), and its dequeue hook may early-close connections
+    that waited too long to be worth serving.  Servers mount it via the
+    ``overload`` argument of :class:`~repro.servers.base.Server`.
     """
 
     def __init__(
@@ -427,27 +436,72 @@ class ListenSocket:
         backlog: int = 511,
         kernel_bytes_per_conn: int = 32 * 1024,
         tracer=None,
+        overload=None,
     ) -> None:
         self.sim = sim
         self.machine = machine
         self.costs = costs or CostModel()
         self.kernel_bytes_per_conn = kernel_bytes_per_conn
         self.tracer = tracer
+        self.overload = overload
         self._backlog = Store(sim, capacity=backlog)
         self.syns_received = 0
         self.syns_dropped = 0
+        self.syns_shed = 0  # the subset of drops decided by policy
         self.handshakes_completed = 0
         self.accepted = 0
         self.dead_on_accept = 0
+        self.early_closed = 0
+        self.backlog_peak = 0
 
     @property
     def backlog_depth(self) -> int:
         """Connections completed by the kernel but not yet accepted."""
         return len(self._backlog)
 
+    @property
+    def backlog_capacity(self) -> int:
+        """Size of the kernel accept queue."""
+        return self._backlog.capacity or 0
+
+    # -- overload-control plumbing ------------------------------------------
+    def _oldest_wait(self) -> float:
+        """Age of the longest-queued connection (the standing queue delay)."""
+        ctl = self.overload
+        if ctl is not None and ctl.discipline.front_insert:
+            conn = self._backlog.peek_back()  # LIFO: oldest at the back
+        else:
+            conn = self._backlog.peek_front()
+        if conn is None or conn._backlog_since is None:
+            return 0.0
+        return self.sim.now - conn._backlog_since
+
+    def signals(self):
+        """Current :class:`~repro.overload.Signals` snapshot for policies."""
+        from ..overload import Signals
+
+        return Signals(
+            queue_depth=self.backlog_depth,
+            queue_capacity=self.backlog_capacity,
+            queue_delay=self._oldest_wait(),
+            pressure=self.machine.memory.pressure,
+        )
+
     def offer(self, conn: Connection) -> bool:
-        """A SYN arrived; queue it or drop it."""
+        """A SYN arrived; queue it or drop it (by policy or by the kernel)."""
         self.syns_received += 1
+        ctl = self.overload
+        if ctl is not None and not ctl.admission.on_arrival(
+            self.sim.now, self.signals()
+        ):
+            self.syns_dropped += 1
+            self.syns_shed += 1
+            self.machine.cpu.execute(self.costs.reject)  # fire and forget
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "error", "syn_shed", backlog=self.backlog_depth
+                )
+            return False
         if self._backlog.is_full and self._backlog.waiting_getters == 0:
             self.syns_dropped += 1
             self.machine.cpu.execute(self.costs.reject)  # fire and forget
@@ -464,9 +518,31 @@ class ListenSocket:
             self.syns_dropped += 1
             return False
         conn._kernel_bytes = self.kernel_bytes_per_conn
-        self._backlog.put(conn)
+        conn._backlog_since = self.sim.now
+        front = ctl is not None and ctl.discipline.front_insert
+        self._backlog.put(conn, front=front)
         self.handshakes_completed += 1
+        if self.backlog_depth > self.backlog_peak:
+            self.backlog_peak = self.backlog_depth
         return True
+
+    def _admit_dequeued(self, conn: Connection) -> bool:
+        """Record queue delay and apply the dequeue-time policy check."""
+        ctl = self.overload
+        if ctl is None:
+            return True
+        since = conn._backlog_since
+        sojourn = 0.0 if since is None else self.sim.now - since
+        ctl.record_queue_delay(sojourn)
+        if ctl.admission.on_dequeue(self.sim.now, sojourn, self.signals()):
+            return True
+        # Early close: refuse service to a connection that waited too
+        # long; the client observes a reset if it ever sends.
+        self.early_closed += 1
+        conn.server_close()
+        if self.tracer is not None:
+            self.tracer.emit("error", "early_close", conn=id(conn))
+        return False
 
     def accept(self, timeout: Optional[float] = None):
         """Generator: block until a live connection is available.
@@ -492,6 +568,8 @@ class ListenSocket:
                 self.dead_on_accept += 1
                 conn._free_kernel_bytes()
                 continue
+            if not self._admit_dequeued(conn):
+                continue
             conn.accepted_by_app = True
             self.accepted += 1
             return conn
@@ -505,6 +583,8 @@ class ListenSocket:
             if conn.dead:
                 self.dead_on_accept += 1
                 conn._free_kernel_bytes()
+                continue
+            if not self._admit_dequeued(conn):
                 continue
             conn.accepted_by_app = True
             self.accepted += 1

@@ -1,0 +1,268 @@
+"""Admission-control policies: who gets in when the server is drowning.
+
+The paper's httpd2 sheds load *accidentally*: the kernel backlog fills,
+SYNs are silently dropped, and clients burn whole 3 s/6 s/12 s
+retransmission periods before giving up.  The policies here make that
+decision deliberate and pluggable, so any server model — simulated or
+live — can choose *what* to refuse instead of letting the kernel decide.
+
+All policies are clock-agnostic: every decision takes an explicit ``now``
+(any monotonic seconds source — the simulator clock or
+``time.monotonic()``) plus a :class:`Signals` snapshot of the host's
+observable state.  The same policy object therefore mounts unchanged on a
+simulated :class:`~repro.net.tcp.ListenSocket` and on a live socket
+server, and — given the same clock and signal sequence — makes the same
+decisions, which keeps simulated experiments deterministic per seed.
+
+Two consult points mirror where real servers can act:
+
+* **arrival** (a SYN / a fresh accept): refuse before any state is built
+  — the cheap place to shed, producing client-side connect failures
+  rather than mid-session resets;
+* **dequeue** (the application accepts a queued connection): refuse work
+  that has already waited so long the client likely gave up — an "early
+  close", trading a possible reset for not serving a corpse.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = [
+    "Signals",
+    "AdmissionPolicy",
+    "AlwaysAdmit",
+    "BacklogThreshold",
+    "TokenBucket",
+    "CoDelShedder",
+]
+
+
+@dataclass
+class Signals:
+    """Snapshot of host state a policy may base a decision on.
+
+    Hosts fill in what they can observe; everything defaults to "no
+    pressure" so a policy mounted on a host with poorer instrumentation
+    (e.g. a live server that cannot see the kernel accept queue)
+    degrades to the signals it does get.
+    """
+
+    #: Connections waiting to be accepted (or, on live hosts, active).
+    queue_depth: int = 0
+    #: Capacity of that queue (0 = unknown/unbounded).
+    queue_capacity: int = 0
+    #: Age of the oldest waiting connection, seconds (0 = unknown).
+    queue_delay: float = 0.0
+    #: Composite resource pressure in [0, 1] (memory, pool occupancy...).
+    pressure: float = 0.0
+
+    @property
+    def fill(self) -> float:
+        """Queue occupancy fraction, 0.0 when capacity is unknown."""
+        if self.queue_capacity <= 0:
+            return 0.0
+        return self.queue_depth / self.queue_capacity
+
+
+class AdmissionPolicy:
+    """Base class: counts decisions, subclasses supply the judgement.
+
+    Hosts call :meth:`on_arrival` / :meth:`on_dequeue`; subclasses
+    override the underscore hooks.  Counters (``admitted``, ``shed``,
+    ``early_closed``) accumulate on the policy object itself so the same
+    instance mounted on several hosts reports one combined tally.
+    """
+
+    name = "policy"
+
+    def __init__(self) -> None:
+        self.admitted = 0
+        self.shed = 0
+        self.early_closed = 0
+
+    # -- host-facing API ----------------------------------------------------
+    def on_arrival(self, now: float, signals: Signals) -> bool:
+        """Admit or shed a brand-new connection attempt."""
+        ok = self._arrival(now, signals)
+        if ok:
+            self.admitted += 1
+        else:
+            self.shed += 1
+        return ok
+
+    def on_dequeue(self, now: float, sojourn: float, signals: Signals) -> bool:
+        """Keep or early-close a connection as the app accepts it.
+
+        ``sojourn`` is how long the connection waited in the accept
+        queue.  Returning False closes it without service.
+        """
+        ok = self._dequeue(now, sojourn, signals)
+        if not ok:
+            self.early_closed += 1
+        return ok
+
+    def stats(self) -> Dict[str, float]:
+        """Counter snapshot for reports."""
+        return {
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "early_closed": self.early_closed,
+        }
+
+    def reset(self) -> None:
+        """Zero the counters and any controller state (new run/mount)."""
+        self.admitted = 0
+        self.shed = 0
+        self.early_closed = 0
+        self._reset()
+
+    # -- subclass hooks -----------------------------------------------------
+    def _arrival(self, now: float, signals: Signals) -> bool:
+        return True
+
+    def _dequeue(self, now: float, sojourn: float, signals: Signals) -> bool:
+        return True
+
+    def _reset(self) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} admitted={self.admitted} shed={self.shed}>"
+
+
+class AlwaysAdmit(AdmissionPolicy):
+    """No admission control — the baseline every comparison starts from."""
+
+    name = "always"
+
+
+class BacklogThreshold(AdmissionPolicy):
+    """Shed arrivals once the accept queue reaches ``max_depth``.
+
+    A deliberate, lower-than-kernel SYN-drop threshold: instead of letting
+    the 511-entry listen backlog fill with connections that will wait
+    seconds to be accepted, refuse early and keep the queue short enough
+    that admitted clients still get timely service.
+    """
+
+    name = "backlog"
+
+    def __init__(self, max_depth: int = 128) -> None:
+        super().__init__()
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = max_depth
+
+    def _arrival(self, now: float, signals: Signals) -> bool:
+        return signals.queue_depth < self.max_depth
+
+
+class TokenBucket(AdmissionPolicy):
+    """Rate-limit admissions to ``rate`` connections/s with ``burst`` slack.
+
+    Caps the *session establishment rate* near the server's sustainable
+    capacity, so the population of concurrent sessions — and with it the
+    pool of idle keep-alive connections the server would otherwise reap
+    and reset — stays bounded under any offered load.
+    """
+
+    name = "token-bucket"
+
+    def __init__(self, rate: float, burst: float = 32.0) -> None:
+        super().__init__()
+        if rate <= 0 or burst < 1:
+            raise ValueError("need rate > 0 and burst >= 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._last: Optional[float] = None
+
+    def _arrival(self, now: float, signals: Signals) -> bool:
+        if self._last is None:
+            self._last = now
+        elapsed = max(0.0, now - self._last)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._last = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def _reset(self) -> None:
+        self._tokens = self.burst
+        self._last = None
+
+
+class CoDelShedder(AdmissionPolicy):
+    """CoDel-style shedding keyed on accept-queue *delay*, not depth.
+
+    Nichols & Jacobson's controlled-delay insight, applied to the accept
+    queue: depth is a bad overload signal (a deep queue that drains fast
+    is healthy), but *standing delay* is unambiguous.  When the oldest
+    waiter has been queued longer than ``target`` continuously for
+    ``interval``, start shedding arrivals, at a frequency growing with
+    the square root of the drop count (the CoDel control law) until the
+    delay comes back under target.
+
+    With ``stale_cap`` set, connections whose own sojourn exceeded it are
+    also early-closed at accept time — don't serve clients that have
+    almost certainly timed out already.
+    """
+
+    name = "codel"
+
+    def __init__(
+        self,
+        target: float = 0.05,
+        interval: float = 0.5,
+        stale_cap: Optional[float] = None,
+    ) -> None:
+        super().__init__()
+        if target <= 0 or interval <= 0:
+            raise ValueError("need target > 0 and interval > 0")
+        self.target = target
+        self.interval = interval
+        self.stale_cap = stale_cap
+        self._above_since: Optional[float] = None
+        self._dropping = False
+        self._drop_next = 0.0
+        self._drop_count = 0
+
+    def _arrival(self, now: float, signals: Signals) -> bool:
+        if signals.queue_delay < self.target:
+            # Delay back under target: leave dropping state entirely.
+            self._above_since = None
+            self._dropping = False
+            self._drop_count = 0
+            return True
+        if self._above_since is None:
+            self._above_since = now
+        if not self._dropping:
+            if now - self._above_since >= self.interval:
+                # Standing queue confirmed: first drop, arm the control law.
+                self._dropping = True
+                self._drop_count = 1
+                self._drop_next = now + self.interval / math.sqrt(2)
+                return False
+            return True
+        if now >= self._drop_next:
+            self._drop_count += 1
+            self._drop_next = now + self.interval / math.sqrt(
+                self._drop_count + 1
+            )
+            return False
+        return True
+
+    def _dequeue(self, now: float, sojourn: float, signals: Signals) -> bool:
+        if self.stale_cap is None:
+            return True
+        return sojourn <= self.stale_cap
+
+    def _reset(self) -> None:
+        self._above_since = None
+        self._dropping = False
+        self._drop_next = 0.0
+        self._drop_count = 0

@@ -55,8 +55,9 @@ class AmpedServer(Server):
         helpers: int = 2,
         semantics: Optional[HttpSemantics] = None,
         costs: Optional[CostModel] = None,
+        overload=None,
     ) -> None:
-        super().__init__(sim, machine, listener, semantics, costs)
+        super().__init__(sim, machine, listener, semantics, costs, overload)
         if helpers < 1:
             raise ValueError("need at least one helper")
         self.helpers = helpers

@@ -8,6 +8,7 @@ from ..http.protocol import HttpSemantics
 from ..net.tcp import ListenSocket
 from ..osmodel.costs import CostModel
 from ..osmodel.machine import Machine
+from ..overload import OverloadControl
 from ..sim.core import Simulator
 
 __all__ = ["Server"]
@@ -18,6 +19,12 @@ class Server:
 
     Subclasses implement :meth:`start` (spawn their threads/processes) and
     populate ``requests_served`` / ``connections_handled`` as they work.
+
+    Every server carries an :class:`~repro.overload.OverloadControl`
+    (inert by default: always-admit, FIFO, fixed timeouts) and mounts it
+    on its listener, so admission, queue discipline and early-close
+    decisions are driven by the same policy objects on every
+    architecture.  Pass ``overload=`` to make the control active.
     """
 
     name = "server"
@@ -29,12 +36,16 @@ class Server:
         listener: ListenSocket,
         semantics: Optional[HttpSemantics] = None,
         costs: Optional[CostModel] = None,
+        overload: Optional[OverloadControl] = None,
     ) -> None:
         self.sim = sim
         self.machine = machine
         self.listener = listener
         self.semantics = semantics or HttpSemantics()
         self.costs = costs or CostModel()
+        self.overload = overload if overload is not None else OverloadControl()
+        if listener.overload is None:
+            listener.overload = self.overload
         self.requests_served = 0
         self.connections_handled = 0
         self.started = False
@@ -43,18 +54,37 @@ class Server:
         """Spawn the server's threads/processes onto the simulator."""
         raise NotImplementedError
 
+    # -- overload-control hooks ---------------------------------------------
+    def pressure(self) -> float:
+        """Composite resource pressure in [0, 1] for adaptive policies.
+
+        The maximum of memory pressure and accept-queue occupancy — the
+        two signals a 2004-era server can cheaply observe about itself.
+        """
+        mem = self.machine.memory.pressure
+        cap = self.listener.backlog_capacity
+        fill = self.listener.backlog_depth / cap if cap else 0.0
+        return min(1.0, max(mem, fill))
+
+    def effective_idle_timeout(self, default: float) -> float:
+        """Idle timeout to apply right now (adaptive when mounted)."""
+        return self.overload.idle_timeout(default, self.pressure())
+
     # -- reporting -----------------------------------------------------------
     def stats(self) -> Dict[str, float]:
         """Server-side counters exposed in run reports."""
-        return {
+        out = {
             "requests_served": self.requests_served,
             "connections_handled": self.connections_handled,
             "threads_live": self.machine.threads.live,
             "threads_peak": self.machine.threads.peak,
             "syns_dropped": self.listener.syns_dropped,
             "backlog_depth": self.listener.backlog_depth,
+            "accept_queue_peak": self.listener.backlog_peak,
             "memory_pressure": round(self.machine.memory.pressure, 4),
         }
+        out.update(self.overload.stats())
+        return out
 
     # -- shared helpers ---------------------------------------------------------
     def _service_cost(self) -> float:

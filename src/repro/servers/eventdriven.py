@@ -39,14 +39,16 @@ DEFAULT_JVM_FACTOR = 1.05
 class _ConnState:
     """Per-channel write queue and reentrancy guard."""
 
-    __slots__ = ("queue", "remaining", "busy", "deferred", "closed")
+    __slots__ = ("queue", "remaining", "busy", "deferred", "closed",
+                 "last_activity")
 
-    def __init__(self) -> None:
+    def __init__(self, now: float = 0.0) -> None:
         self.queue: Deque[int] = deque()  # response byte counts to write
         self.remaining = 0  # bytes left of the in-progress response
         self.busy = False
         self.deferred = False
         self.closed = False
+        self.last_activity = now  # for the (optional) idle sweeper
 
 
 class EventDrivenServer(Server):
@@ -64,9 +66,10 @@ class EventDrivenServer(Server):
         semantics: Optional[HttpSemantics] = None,
         costs: Optional[CostModel] = None,
         selector_strategy: str = "shared",
+        overload=None,
     ) -> None:
         base_costs = (costs or CostModel()).scaled(jvm_factor)
-        super().__init__(sim, machine, listener, semantics, base_costs)
+        super().__init__(sim, machine, listener, semantics, base_costs, overload)
         if workers < 1:
             raise ValueError("need at least one worker thread")
         if selector_strategy not in ("shared", "partitioned"):
@@ -84,6 +87,7 @@ class EventDrivenServer(Server):
         self.selectors = [Selector(sim) for _ in range(n_selectors)]
         self._assign_seq = 0
         self.events_processed = 0
+        self.idle_reaps = 0
         self._states: Dict[Connection, _ConnState] = {}
 
     @property
@@ -102,6 +106,12 @@ class EventDrivenServer(Server):
         self.sim.process(self._acceptor(), name=f"{self.name}-acceptor")
         for i in range(self.workers):
             self.sim.process(self._worker(i), name=f"{self.name}-worker-{i}")
+        if self.overload.timeout is not None:
+            # Adaptive-timeout mount turns on idle reaping: a sweeper
+            # closes channels idle past the (pressure-dependent) timeout.
+            # Without it the server keeps its zero-reset guarantee.
+            registry.spawn(f"{self.name}-sweeper")
+            self.sim.process(self._sweeper(), name=f"{self.name}-sweeper")
 
     # ------------------------------------------------------------------
     def _acceptor(self):
@@ -111,7 +121,7 @@ class EventDrivenServer(Server):
             conn = yield from self.listener.accept()
             yield cpu.execute(self.costs.accept)
             self.connections_handled += 1
-            self._states[conn] = _ConnState()
+            self._states[conn] = _ConnState(self.sim.now)
             selector = self.selectors[self._assign_seq % len(self.selectors)]
             self._assign_seq += 1
             selector.register(conn, READ)
@@ -143,6 +153,7 @@ class EventDrivenServer(Server):
     def _handle(self, conn: Connection, state: _ConnState, kind: int):
         """Drain readable data, then pump non-blocking writes."""
         cpu = self.machine.cpu
+        state.last_activity = self.sim.now
         if kind == READ:
             while True:
                 item = conn.try_recv()
@@ -189,6 +200,36 @@ class EventDrivenServer(Server):
         if conn.watcher is not None:
             conn.watcher.set_interest(conn, READ)
 
+    def _sweeper(self):
+        """Reap channels idle past the adaptive timeout (opt-in only).
+
+        Generalizes httpd2's fixed 15 s reaper: the cutoff comes from the
+        mounted :class:`~repro.overload.AdaptiveTimeout`, so at low
+        pressure idle clients are left alone (long cutoff, few resets)
+        and under pressure the selector sheds its idlest channels to
+        reclaim kernel memory.
+        """
+        cpu = self.machine.cpu
+        interval = max(0.5, self.overload.timeout.floor / 2.0)
+        while True:
+            yield self.sim.timeout(interval)
+            cutoff = self.effective_idle_timeout(float("inf"))
+            now = self.sim.now
+            stale = [
+                (conn, state)
+                for conn, state in self._states.items()
+                if not state.busy
+                and state.remaining == 0
+                and not state.queue
+                and now - state.last_activity > cutoff
+            ]
+            for conn, state in stale:
+                if state.closed or state.busy:
+                    continue
+                self.idle_reaps += 1
+                yield cpu.execute(self.costs.close)
+                self._close(conn, state)
+
     def _close(self, conn: Connection, state: _ConnState) -> None:
         state.closed = True
         if conn.watcher is not None:
@@ -201,6 +242,7 @@ class EventDrivenServer(Server):
         out["workers"] = self.workers
         out["selector_strategy"] = self.selector_strategy
         out["events_processed"] = self.events_processed
+        out["idle_reaps"] = self.idle_reaps
         out["channels_registered"] = sum(
             s.registered_count for s in self.selectors
         )

@@ -60,9 +60,10 @@ class StagedServer(Server):
         jvm_factor: float = DEFAULT_JVM_FACTOR,
         semantics: Optional[HttpSemantics] = None,
         costs: Optional[CostModel] = None,
+        overload=None,
     ) -> None:
         base_costs = (costs or CostModel()).scaled(jvm_factor)
-        super().__init__(sim, machine, listener, semantics, base_costs)
+        super().__init__(sim, machine, listener, semantics, base_costs, overload)
         if threads_per_stage < 1:
             raise ValueError("need at least one thread per stage")
         self.threads_per_stage = threads_per_stage

@@ -55,8 +55,9 @@ class ThreadPoolServer(Server):
         min_spare: int = 25,
         max_spare: int = 250,
         manager_interval: float = 1.0,
+        overload=None,
     ) -> None:
-        super().__init__(sim, machine, listener, semantics, costs)
+        super().__init__(sim, machine, listener, semantics, costs, overload)
         if pool_size < 1:
             raise ValueError("pool size must be >= 1")
         if dynamic and not (0 < min_spare <= max_spare):
@@ -159,7 +160,10 @@ class ThreadPoolServer(Server):
         """Blocking request/response loop bound to one worker thread."""
         cpu = self.machine.cpu
         while True:
-            request = yield from conn.server_recv(self.idle_timeout)
+            # Adaptive timeout (when mounted) tightens the fixed Apache
+            # Timeout/KeepAliveTimeout as resource pressure rises.
+            timeout = self.effective_idle_timeout(self.idle_timeout)
+            request = yield from conn.server_recv(timeout)
             if request is None:
                 # Idle timeout: disconnect the client to free this thread.
                 self.idle_reaps += 1

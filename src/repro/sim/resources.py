@@ -128,7 +128,7 @@ class Store:
     def is_full(self) -> bool:
         return self.capacity is not None and len(self._items) >= self.capacity
 
-    def try_put(self, item: Any) -> bool:
+    def try_put(self, item: Any, front: bool = False) -> bool:
         """Like :meth:`put` but returns False instead of raising when full."""
         # Hand the item directly to a waiting getter when possible: the
         # queue is then logically empty, so capacity never blocks this path.
@@ -139,13 +139,28 @@ class Store:
                 return True
         if self.is_full:
             return False
-        self._items.append(item)
+        if front:
+            self._items.appendleft(item)
+        else:
+            self._items.append(item)
         return True
 
-    def put(self, item: Any) -> None:
-        """Enqueue ``item`` (or deliver it to a waiting getter)."""
-        if not self.try_put(item):
+    def put(self, item: Any, front: bool = False) -> None:
+        """Enqueue ``item`` (or deliver it to a waiting getter).
+
+        ``front=True`` inserts at the dequeue end — LIFO ordering, used
+        by overload-control accept-queue disciplines.
+        """
+        if not self.try_put(item, front=front):
             raise StoreFull(f"store at capacity {self.capacity}")
+
+    def peek_front(self) -> Any:
+        """The next item ``get`` would return, or ``None`` if empty."""
+        return self._items[0] if self._items else None
+
+    def peek_back(self) -> Any:
+        """The most recently appended item, or ``None`` if empty."""
+        return self._items[-1] if self._items else None
 
     def get(self) -> Event:
         """Dequeue an item; the event succeeds with the item."""

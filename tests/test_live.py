@@ -196,3 +196,34 @@ def test_load_generator_measures(server_fixture, request, docroot):
 def test_load_generator_validates_paths(event_server):
     with pytest.raises(ValueError):
         run_load("127.0.0.1", event_server.port, [], clients=1)
+
+
+def test_live_stats_error_buckets():
+    from repro.live import LiveStats
+
+    stats = LiveStats(
+        duration=1.0,
+        connect_timeouts=1,
+        connect_errors=2,
+        read_timeouts=3,
+        resets=4,
+        other_errors=5,
+    )
+    assert stats.errors == 15  # total spans every bucket
+    # httperf's client-timo: timeouts in either phase, nothing else.
+    assert stats.client_timeouts == 4
+
+
+def test_load_generator_counts_connect_errors():
+    # Nothing listens on this port: every client fails in the connect
+    # phase and lands in connect_errors (refused), not in resets.
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        free_port = probe.getsockname()[1]
+    stats = run_load(
+        "127.0.0.1", free_port, ["/f0"], clients=3, requests_per_client=1
+    )
+    assert stats.connect_errors == 3
+    assert stats.replies == 0
+    assert stats.resets == 0
+    assert stats.errors == 3

@@ -1,0 +1,375 @@
+"""Integration tests: overload control mounted on simulated and live servers.
+
+Covers the subsystem's three load-bearing promises:
+
+* policies actually change what the simulated TCP/server stack does
+  (shed SYNs, reorder accept queues, reap adaptively);
+* runs stay deterministic per seed with policies mounted;
+* the *same* policy object drives a simulated server and a live
+  socket server without modification.
+"""
+
+import pytest
+
+from repro.core import Experiment, ServerSpec, WorkloadSpec
+from repro.net import Connection, ListenSocket
+from repro.net.link import DuplexLink
+from repro.osmodel import Machine, MachineSpec
+from repro.overload import (
+    LIFO,
+    AdaptiveTimeout,
+    BacklogThreshold,
+    OverloadControl,
+    TokenBucket,
+)
+from repro.sim import Simulator
+from repro.workload import SurgeConfig
+
+#: Think times guaranteed to outlive a 15 s idle timeout (same as
+#: tests/test_servers.py): every keep-alive session risks an idle reap.
+LONG_THINKS = SurgeConfig(think_k=20.0, think_max=25.0, groups_per_session=2.5)
+
+
+def run_mini(spec, clients=20, duration=60.0, warmup=20.0, surge=None, seed=7):
+    workload = WorkloadSpec(
+        clients=clients,
+        duration=duration,
+        warmup=warmup,
+        n_files=100,
+        surge=surge or SurgeConfig(),
+    )
+    return Experiment(
+        server=spec, workload=workload, machine=MachineSpec(cpus=1), seed=seed
+    ).run()
+
+
+# ---------------------------------------------------------------------------
+# transport level: policies drive the simulated listen socket
+# ---------------------------------------------------------------------------
+
+def make_listener(overload=None, backlog=511):
+    sim = Simulator()
+    machine = Machine(sim, MachineSpec(cpus=1))
+    listener = ListenSocket(
+        sim, machine, backlog=backlog, overload=overload
+    )
+    duplex = DuplexLink(sim, 1e7, 0.001)
+    return sim, listener, duplex
+
+
+def connect(sim, listener, duplex):
+    conn = Connection(sim, duplex, listener)
+    sim.process(conn.connect(30.0))
+    return conn
+
+
+def test_lifo_discipline_accepts_newest_first():
+    sim, listener, duplex = make_listener(
+        overload=OverloadControl(discipline=LIFO)
+    )
+    conns = []
+
+    def arrivals():
+        for _ in range(3):
+            conns.append(connect(sim, listener, duplex))
+            yield sim.timeout(0.5)
+
+    accepted = []
+
+    def acceptor():
+        yield sim.timeout(2.0)  # let all three queue up first
+        for _ in range(3):
+            got = yield sim.process(listener.accept())
+            accepted.append(got)
+
+    sim.process(arrivals())
+    sim.process(acceptor())
+    sim.run(until=5.0)
+    assert accepted == [conns[2], conns[1], conns[0]]  # newest first
+
+
+def test_fifo_discipline_accepts_oldest_first():
+    sim, listener, duplex = make_listener(overload=OverloadControl())
+    conns = []
+
+    def arrivals():
+        for _ in range(3):
+            conns.append(connect(sim, listener, duplex))
+            yield sim.timeout(0.5)
+
+    accepted = []
+
+    def acceptor():
+        yield sim.timeout(2.0)
+        for _ in range(3):
+            got = yield sim.process(listener.accept())
+            accepted.append(got)
+
+    sim.process(arrivals())
+    sim.process(acceptor())
+    sim.run(until=5.0)
+    assert accepted == conns
+
+
+def test_backlog_threshold_sheds_syns_before_kernel_limit():
+    policy = BacklogThreshold(max_depth=2)
+    sim, listener, duplex = make_listener(
+        overload=OverloadControl(admission=policy), backlog=511
+    )
+    for _ in range(5):
+        connect(sim, listener, duplex)
+    sim.run(until=1.0)
+    # Kernel backlog (511) never filled; the policy shed the excess.
+    assert listener.backlog_depth == 2
+    assert listener.syns_shed == policy.shed > 0
+    assert listener.backlog_peak == 2
+
+
+# ---------------------------------------------------------------------------
+# server level: shedding changes the error profile (paper fig 3)
+# ---------------------------------------------------------------------------
+
+def test_token_bucket_reduces_httpd_resets():
+    base = run_mini(ServerSpec.httpd(64), surge=LONG_THINKS)
+    limited = run_mini(
+        ServerSpec(
+            "httpd", 64,
+            overload=OverloadControl(
+                admission=TokenBucket(rate=0.5, burst=2.0)
+            ),
+        ),
+        surge=LONG_THINKS,
+    )
+    assert base.connection_reset_rate > 0.05  # the paper's failure mode
+    assert limited.server_stats["requests_shed"] > 0
+    # Capping session establishment shrinks the idle keep-alive
+    # population that reaping victimises.
+    assert limited.connection_reset_rate < base.connection_reset_rate
+    assert limited.replies > 0
+
+
+def test_eventdriven_with_shedding_still_never_resets():
+    m = run_mini(
+        ServerSpec(
+            "nio", 1,
+            overload=OverloadControl(
+                admission=TokenBucket(rate=0.5, burst=2.0)
+            ),
+        ),
+        surge=LONG_THINKS,
+    )
+    assert m.server_stats["requests_shed"] > 0  # policy is live
+    assert m.connection_reset_rate == 0.0  # zero-reset guarantee intact
+    assert m.replies > 0
+
+
+def test_adaptive_timeout_makes_eventdriven_reap():
+    # Opt-in only: mounting an AdaptiveTimeout gives the event-driven
+    # server an idle sweeper it otherwise does not run.
+    m = run_mini(
+        ServerSpec(
+            "nio", 1,
+            overload=OverloadControl(
+                timeout=AdaptiveTimeout(base=5.0, floor=1.0)
+            ),
+        ),
+        surge=LONG_THINKS,
+    )
+    assert m.server_stats["idle_reaps"] > 0
+    assert m.connection_reset_rate > 0.0
+
+
+def test_stats_expose_overload_counters():
+    m = run_mini(
+        ServerSpec(
+            "httpd", 64,
+            overload=OverloadControl(
+                admission=TokenBucket(rate=0.5, burst=2.0)
+            ),
+        ),
+        surge=LONG_THINKS,
+    )
+    stats = m.server_stats
+    for key in (
+        "requests_shed",
+        "requests_admitted",
+        "early_closed",
+        "accept_queue_peak",
+        "queue_delay_mean",
+        "queue_delay_p99",
+    ):
+        assert key in stats
+    assert stats["requests_admitted"] > 0
+    # 64 workers never let 20 clients queue: peak 0 is the honest value.
+    assert stats["accept_queue_peak"] == 0
+
+
+def test_label_carries_policy_tag():
+    spec = ServerSpec(
+        "httpd", 64,
+        overload=OverloadControl(admission=TokenBucket(rate=1.0)),
+    )
+    assert spec.label.endswith("+token-bucket")
+    assert ServerSpec.httpd(64).label == "httpd-64t"
+
+
+def test_overload_scenario_backlog_threshold_caps_queue():
+    # The under-provisioned OVERLOAD_UP testbed surges its accept queue
+    # during ramp-up; a backlog threshold visibly caps that surge.
+    from repro.core import OVERLOAD_UP
+
+    workload = WorkloadSpec(clients=400, duration=10.0, warmup=8.0)
+
+    def run(spec):
+        return Experiment(
+            server=spec,
+            workload=workload,
+            machine=OVERLOAD_UP.machine,
+            network=OVERLOAD_UP.network,
+            seed=7,
+        ).run()
+
+    plain = run(ServerSpec.httpd(256))
+    capped = run(
+        ServerSpec(
+            "httpd", 256,
+            overload=OverloadControl(admission=BacklogThreshold(max_depth=64)),
+        )
+    )
+    assert plain.server_stats["accept_queue_peak"] > 64
+    assert capped.server_stats["accept_queue_peak"] <= 64
+    assert capped.server_stats["requests_shed"] > 0
+    # Shedding the surge costs almost nothing in goodput here.
+    assert capped.throughput_rps > 0.95 * plain.throughput_rps
+
+
+# ---------------------------------------------------------------------------
+# determinism
+# ---------------------------------------------------------------------------
+
+def test_shed_decisions_deterministic_per_seed():
+    spec = ServerSpec(
+        "httpd", 64,
+        overload=OverloadControl(admission=TokenBucket(rate=0.5, burst=2.0)),
+    )
+    a = run_mini(spec, surge=LONG_THINKS, seed=11)
+    b = run_mini(spec, surge=LONG_THINKS, seed=11)
+    assert a.server_stats["requests_shed"] == b.server_stats["requests_shed"]
+    assert (
+        a.server_stats["requests_admitted"]
+        == b.server_stats["requests_admitted"]
+    )
+    assert a.replies == b.replies
+    assert a.errors == b.errors
+
+
+def test_policy_state_resets_between_runs():
+    # The same ServerSpec (and thus the same policy object) swept twice
+    # must not carry token-bucket debt across runs.
+    spec = ServerSpec(
+        "httpd", 64,
+        overload=OverloadControl(admission=TokenBucket(rate=0.5, burst=2.0)),
+    )
+    first = run_mini(spec, surge=LONG_THINKS, seed=11)
+    second = run_mini(spec, surge=LONG_THINKS, seed=11)
+    assert (
+        first.server_stats["requests_shed"]
+        == second.server_stats["requests_shed"]
+    )
+
+
+# ---------------------------------------------------------------------------
+# the same policy object on a sim server and a live server
+# ---------------------------------------------------------------------------
+
+def test_same_policy_object_mounts_on_sim_and_live_servers():
+    from repro.live import DocRoot, ThreadPoolHttpServer, run_load
+
+    policy = BacklogThreshold(max_depth=2)
+    control = OverloadControl(admission=policy)
+
+    # 1) Simulated httpd: the experiment consults the policy per SYN.
+    sim_metrics = run_mini(
+        ServerSpec("httpd", 8, overload=control),
+        clients=10,
+        duration=20.0,
+        warmup=5.0,
+    )
+    sim_admitted = policy.admitted
+    assert sim_admitted > 0
+
+    # 2) The very same objects now drive a real socket server.
+    docroot = DocRoot.synthetic(n_files=8)
+    server = ThreadPoolHttpServer(docroot, pool_size=4, overload=control)
+    server.start()
+    try:
+        stats = run_load(
+            "127.0.0.1",
+            server.port,
+            docroot.paths()[:4],
+            clients=8,
+            requests_per_client=5,
+        )
+    finally:
+        server.stop()
+    # The live server admitted through the same policy instance: its
+    # combined tally kept growing past the simulated run's count.
+    assert policy.admitted > sim_admitted
+    assert server.requests_shed == policy.shed - 0  # one shared ledger
+    assert stats.replies > 0
+
+
+def test_live_event_server_sheds_with_same_policy_type():
+    from repro.live import AsyncioEventServer, DocRoot, run_load
+
+    policy = BacklogThreshold(max_depth=1)
+    docroot = DocRoot.synthetic(n_files=8)
+    server = AsyncioEventServer(
+        docroot, overload=OverloadControl(admission=policy), max_connections=4
+    )
+    server.start()
+    try:
+        stats = run_load(
+            "127.0.0.1",
+            server.port,
+            docroot.paths()[:4],
+            clients=8,
+            requests_per_client=5,
+            think_time=0.05,
+        )
+    finally:
+        server.stop()
+    assert server.requests_shed == policy.shed > 0
+    assert stats.replies > 0
+    # Shed connections surface as resets/EOF on the client, never hangs.
+    assert stats.errors == stats.resets + stats.other_errors
+
+
+def test_live_thread_server_adaptive_timeout_reaps_faster():
+    import socket
+    import time
+
+    from repro.live import DocRoot, ThreadPoolHttpServer
+
+    docroot = DocRoot.synthetic(n_files=4)
+    server = ThreadPoolHttpServer(
+        docroot,
+        pool_size=2,
+        idle_timeout=30.0,
+        overload=OverloadControl(
+            timeout=AdaptiveTimeout(base=0.5, floor=0.2, gain=1.0)
+        ),
+    )
+    server.start()
+    try:
+        with socket.create_connection(("127.0.0.1", server.port), 5.0) as s:
+            time.sleep(1.5)  # outlive the adaptive base, not the 30 s fixed
+            s.settimeout(2.0)
+            try:
+                data = s.recv(1024)
+                assert data == b""
+            except ConnectionResetError:
+                pass
+        assert server.idle_reaps >= 1
+    finally:
+        server.stop()
