@@ -5,6 +5,7 @@ Commands
 run      one experiment (server x machine x network x clients)
 sweep    a client-count sweep for one server configuration
 figure   regenerate one paper figure (1-10) and print its tables
+observe  run one instrumented experiment and print the span report
 profiles list the available measurement profiles
 
 Examples
@@ -15,6 +16,8 @@ Examples
     python -m repro run --server httpd --threads 4096 --cpus 4
     python -m repro sweep --server nio --threads 2 --cpus 4
     python -m repro figure 3 --profile quick
+    python -m repro observe --server httpd --threads 896 --network 100m \\
+        --clients 6000 --spans spans.jsonl --chrome trace.json
 """
 
 from __future__ import annotations
@@ -82,7 +85,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 def cmd_run(args: argparse.Namespace) -> int:
     scenario = _scenario(args)
-    metrics = Experiment(
+    experiment = Experiment(
         server=_server_spec(args),
         workload=WorkloadSpec(
             clients=args.clients, duration=args.duration, warmup=args.warmup
@@ -90,12 +93,75 @@ def cmd_run(args: argparse.Namespace) -> int:
         machine=scenario.machine,
         network=scenario.network,
         seed=args.seed,
-    ).run()
+        trace=("conn", "http", "error", "server") if args.trace else None,
+    )
+    metrics = experiment.run()
     for key, value in metrics.row().items():
         print(f"{key:>12s}: {value}")
     if args.stats:
         for key, value in sorted(metrics.server_stats.items()):
             print(f"{key:>24s}: {value}")
+    if args.trace and experiment.tracer is not None:
+        print("\n-- trace event counts ------------------------------------")
+        print(experiment.tracer.summary())
+    return 0
+
+
+def cmd_observe(args: argparse.Namespace) -> int:
+    """One instrumented run: phase profile, histograms, breakdown."""
+    import json
+
+    from .obs import spans_to_chrome_trace, spans_to_jsonl
+    from .obs.report import (
+        format_phase_table,
+        format_registry_table,
+        render_slowest,
+    )
+
+    import dataclasses
+
+    scenario = _scenario(args)
+    spec = dataclasses.replace(_server_spec(args), observe=True)
+    experiment = Experiment(
+        server=spec,
+        workload=WorkloadSpec(
+            clients=args.clients, duration=args.duration, warmup=args.warmup
+        ),
+        machine=scenario.machine,
+        network=scenario.network,
+        seed=args.seed,
+    )
+    metrics = experiment.run()
+    recorder, profiler = experiment.recorder, experiment.profiler
+
+    print(f"{spec.label} | {args.cpus} cpu | {args.network} | "
+          f"{args.clients} clients: {metrics.throughput_rps:.1f} replies/s")
+    print("\n-- CPU seconds by phase ------------------------------------")
+    print(profiler.table())
+    print("\n-- lifecycle-phase latency histograms ----------------------")
+    print(format_phase_table(recorder.registry))
+    print("\n-- span counters -------------------------------------------")
+    print(format_registry_table(recorder.registry))
+    b = recorder.breakdown()
+    print("\n-- queue-wait vs service breakdown -------------------------")
+    print(f"  queue wait: {b['queue_wait_s']:12.1f} s  "
+          f"({b['queue_share'] * 100:5.1f}%)   <- includes failed conns")
+    print(f"  service:    {b['service_s']:12.1f} s  "
+          f"({b['service_share'] * 100:5.1f}%)")
+    slowest = render_slowest(recorder, n=args.slowest)
+    if slowest:
+        print("\n-- slowest connections -------------------------------------")
+        print(slowest)
+    if args.spans:
+        with open(args.spans, "w") as fh:
+            fh.write(spans_to_jsonl(recorder.spans))
+        print(f"\nwrote {len(recorder)} spans to {args.spans} "
+              f"({recorder.dropped} evicted from the ring)")
+    if args.chrome:
+        with open(args.chrome, "w") as fh:
+            json.dump(spans_to_chrome_trace(recorder.spans), fh)
+        print(f"wrote Chrome trace to {args.chrome} "
+              f"(load in chrome://tracing or ui.perfetto.dev)")
     return 0
 
 
@@ -154,7 +220,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--clients", type=int, default=2400)
     p_run.add_argument("--stats", action="store_true",
                        help="also print server-side counters")
+    p_run.add_argument("--trace", action="store_true",
+                       help="record trace events; print per-category "
+                            "counts (and any ring-buffer drops)")
     p_run.set_defaults(fn=cmd_run)
+
+    p_obs = sub.add_parser(
+        "observe",
+        help="run one instrumented experiment and print the span report",
+    )
+    _add_common(p_obs)
+    p_obs.add_argument("--clients", type=int, default=2400)
+    p_obs.add_argument("--slowest", type=int, default=3,
+                       help="render timelines of the N slowest connections")
+    p_obs.add_argument("--spans", metavar="FILE",
+                       help="dump retained spans as JSONL")
+    p_obs.add_argument("--chrome", metavar="FILE",
+                       help="dump a Chrome trace_event JSON file")
+    p_obs.set_defaults(fn=cmd_observe)
 
     p_sweep = sub.add_parser("sweep", help="sweep client counts")
     _add_common(p_sweep)

@@ -92,6 +92,9 @@ class Experiment:
         if self.network is None:
             self.network = NetworkSpec.gigabit()
         self.tracer = None
+        #: Populated by run() when ``server.observe`` is set.
+        self.recorder = None
+        self.profiler = None
 
     def run(self) -> RunMetrics:
         """Build the testbed, run to steady state, return the measurements."""
@@ -107,12 +110,22 @@ class Experiment:
             from ..sim.trace import Tracer
 
             self.tracer = Tracer(sim, categories=self.trace)
+        if self.server.observe:
+            # Fresh per run: spans and phase attribution never leak
+            # between sweep points, and determinism is preserved (the
+            # observability layer uses no RNG and schedules no events).
+            from ..obs import PhaseProfiler, SpanRecorder
+
+            self.recorder = SpanRecorder(clock=lambda: sim.now)
+            self.profiler = PhaseProfiler()
         listener = ListenSocket(
             sim,
             machine,
             costs=self.machine.base_costs(),
             backlog=self.server.backlog,
             tracer=self.tracer,
+            recorder=self.recorder,
+            profiler=self.profiler,
         )
         network = Network(sim, self.network)
 
@@ -159,11 +172,37 @@ class Experiment:
         stats["downlink_utilization"] = round(
             network.downlink_utilization(end), 4
         )
+        if self.recorder is not None:
+            # Close out every span still open at the end of the run —
+            # clients stuck in SYN retransmission or waiting on replies.
+            stats["spans_unfinished"] = self.recorder.flush("unfinished")
+            breakdown = self.recorder.breakdown()
+            stats["obs_queue_wait_s"] = round(breakdown["queue_wait_s"], 6)
+            stats["obs_service_s"] = round(breakdown["service_s"], 6)
+            stats["obs_queue_share"] = round(breakdown["queue_share"], 6)
+            stats["obs_service_share"] = round(breakdown["service_share"], 6)
+        if self.profiler is not None:
+            # Scheduler loss is capacity the CPU could not sell because
+            # of thread overhead — estimated from the final degradation
+            # factor over the measurement window (not a CPU burst).
+            cpu = machine.cpu
+            loss = (
+                self.workload.duration
+                * cpu.base_capacity
+                * (1.0 - cpu.capacity_factor)
+            )
+            if loss > 0.0:
+                self.profiler.add("sched_overhead", loss)
+        tracer_kwargs = {}
+        if self.tracer is not None:
+            tracer_kwargs["trace_dropped"] = self.tracer.dropped
+            tracer_kwargs["trace_counts"] = self.tracer.counts_by_category()
         return RunMetrics.from_hub(
             metrics,
             clients=self.workload.clients,
             cpu_utilization=min(1.0, cpu_util),
             server_stats=stats,
+            **tracer_kwargs,
         )
 
     # -- convenience ---------------------------------------------------------

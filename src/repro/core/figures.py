@@ -61,6 +61,14 @@ def _reset_rate(m: RunMetrics) -> float:
     return m.connection_reset_rate
 
 
+def _queue_share_pct(m: RunMetrics) -> float:
+    return m.server_stats.get("obs_queue_share", 0.0) * 100.0
+
+
+def _service_share_pct(m: RunMetrics) -> float:
+    return m.server_stats.get("obs_service_share", 0.0) * 100.0
+
+
 @dataclass
 class Series:
     """One line of a figure."""
@@ -575,6 +583,50 @@ class FigureRunner:
                 self._series(configs, _throughput),
                 notes="the token bucket caps establishment just under "
                       "saturation, so goodput stays near the peak",
+            ),
+        ]
+
+    def extension_latency_breakdown(self) -> List[FigureData]:
+        """Observability extension: queue-wait vs service-time share.
+
+        Makes figure 2's explanation directly observable from span data
+        on the bandwidth-bounded UP-100M testbed.  *Queue wait* counts
+        every second a client spent making no progress — SYN
+        retransmission, the kernel backlog, requests sitting unserved —
+        **including the failed connections httperf excludes** from
+        response-time statistics.  *Service* counts CPU service plus
+        response streaming.  nio streams to every client concurrently,
+        so its clients' time is almost entirely service; thread-limited
+        httpd pools serialize clients behind busy workers, so at peak
+        load the (hidden) queue wait dominates.
+        """
+        configs = [
+            (ServerSpec("nio", 1, observe=True), UP_FAST_ETHERNET, "nio-1w"),
+            (
+                ServerSpec("httpd", 896, observe=True),
+                UP_FAST_ETHERNET,
+                "httpd-896t",
+            ),
+            (
+                ServerSpec("httpd", 4096, observe=True),
+                UP_FAST_ETHERNET,
+                "httpd-4096t",
+            ),
+        ]
+        return [
+            FigureData(
+                "extLBa", "Queue-wait share of client time (UP, 100 Mbit)",
+                "clients", "% of time",
+                self._series(configs, _queue_share_pct),
+                notes="includes failed connections httperf excludes from "
+                      "response-time stats",
+            ),
+            FigureData(
+                "extLBb", "Service-time share of client time (UP, 100 Mbit)",
+                "clients", "% of time",
+                self._series(configs, _service_share_pct),
+                notes="nio streams everyone concurrently, so its time is "
+                      "honest service time",
             ),
         ]
 

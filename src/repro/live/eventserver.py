@@ -17,10 +17,14 @@ import time
 from typing import Optional
 
 from ..http.parser import ParseError, RequestParser, render_response_head
+from ..obs import Registry, SpanRecorder
 from ..overload import OverloadControl, Signals
 from .docroot import DocRoot
 
-__all__ = ["AsyncioEventServer"]
+__all__ = ["AsyncioEventServer", "METRICS_PATH"]
+
+#: Reserved target serving Prometheus-style text exposition.
+METRICS_PATH = "/-/metrics"
 
 
 class AsyncioEventServer:
@@ -39,6 +43,8 @@ class AsyncioEventServer:
         port: int = 0,
         overload: Optional[OverloadControl] = None,
         max_connections: int = 1024,
+        registry: Optional[Registry] = None,
+        recorder: Optional[SpanRecorder] = None,
     ):
         self.docroot = docroot
         self.host = host
@@ -49,6 +55,11 @@ class AsyncioEventServer:
         self.connections_accepted = 0
         self.requests_shed = 0
         self.open_connections = 0
+        #: Metrics registry backing the /-/metrics endpoint; shares the
+        #: histogram/counter implementation with the simulation.
+        self.registry = registry if registry is not None else Registry()
+        #: Optional span recorder (wall-clock spans per connection).
+        self.recorder = recorder
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._thread: Optional[threading.Thread] = None
@@ -101,6 +112,7 @@ class AsyncioEventServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self.connections_accepted += 1
+        self.registry.counter("connections_accepted").inc()
         if self.overload is not None:
             signals = Signals(
                 queue_depth=self.open_connections,
@@ -113,9 +125,15 @@ class AsyncioEventServer:
                 time.monotonic(), signals
             ):
                 self.requests_shed += 1
+                self.registry.counter("connections_shed").inc()
                 writer.close()
                 return
         self.open_connections += 1
+        self.registry.gauge("open_connections").add(1)
+        span = self.recorder.open() if self.recorder is not None else None
+        if span is not None:
+            span.mark("accept")
+        status = "closed"
         parser = RequestParser()
         try:
             while True:
@@ -130,21 +148,43 @@ class AsyncioEventServer:
                     )
                     break
                 for request in requests:
-                    keep = await self._respond(writer, request)
+                    keep = await self._respond(writer, request, span)
                     if not keep:
                         return
         except (ConnectionResetError, BrokenPipeError):
-            pass
+            status = "reset"
         finally:
             self.open_connections -= 1
+            self.registry.gauge("open_connections").add(-1)
+            if self.recorder is not None:
+                self.recorder.finish(span, status)
             writer.close()
 
-    async def _respond(self, writer: asyncio.StreamWriter, request) -> bool:
+    async def _respond(
+        self, writer: asyncio.StreamWriter, request, span=None
+    ) -> bool:
+        if request.target == METRICS_PATH:
+            body = self.registry.prometheus_text().encode()
+            writer.write(
+                render_response_head(
+                    200, "OK", len(body), request.keep_alive
+                )
+            )
+            writer.write(body)
+            await writer.drain()
+            return request.keep_alive
+        t0 = time.monotonic()
+        if span is not None:
+            span.mark("svc_start")
         body = self.docroot.lookup(request.target)
+        if span is not None:
+            span.mark("svc_end")
+            span.mark("tx_start")
         if body is None:
             writer.write(
                 render_response_head(404, "Not Found", 0, request.keep_alive)
             )
+            self.registry.counter("requests_not_found").inc()
         else:
             writer.write(
                 render_response_head(
@@ -155,5 +195,11 @@ class AsyncioEventServer:
         # Non-blocking write + drain: backpressure returns control to the
         # loop, exactly like re-registering for writability in NIO.
         await writer.drain()
+        if span is not None:
+            span.mark("reply_done")
         self.requests_served += 1
+        self.registry.counter("requests_served").inc()
+        self.registry.histogram("request_latency").observe(
+            time.monotonic() - t0
+        )
         return request.keep_alive

@@ -15,8 +15,10 @@ import time
 from typing import List, Optional
 
 from ..http.parser import ParseError, RequestParser, render_response_head
+from ..obs import Registry, SpanRecorder
 from ..overload import OverloadControl, Signals
 from .docroot import DocRoot
+from .eventserver import METRICS_PATH
 
 __all__ = ["ThreadPoolHttpServer"]
 
@@ -40,6 +42,8 @@ class ThreadPoolHttpServer:
         port: int = 0,
         backlog: int = 128,
         overload: Optional[OverloadControl] = None,
+        registry: Optional[Registry] = None,
+        recorder: Optional[SpanRecorder] = None,
     ):
         if pool_size < 1:
             raise ValueError("pool size must be >= 1")
@@ -55,6 +59,11 @@ class ThreadPoolHttpServer:
         self.requests_shed = 0
         self.active_connections = 0
         self.idle_reaps = 0
+        #: Metrics registry backing the /-/metrics endpoint; shares the
+        #: histogram/counter implementation with the simulation.
+        self.registry = registry if registry is not None else Registry()
+        #: Optional span recorder (wall-clock spans per connection).
+        self.recorder = recorder
         self._sock: Optional[socket.socket] = None
         self._threads: List[threading.Thread] = []
         self._stopping = threading.Event()
@@ -104,6 +113,7 @@ class ThreadPoolHttpServer:
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             with self._lock:
                 self.connections_accepted += 1
+                self.registry.counter("connections_accepted").inc()
                 admitted = self._admit_locked()
             if not admitted:
                 try:
@@ -111,11 +121,13 @@ class ThreadPoolHttpServer:
                 except OSError:
                     pass
                 continue
+            self.registry.gauge("open_connections").add(1)
             try:
                 self._serve_connection(conn)
             finally:
                 with self._lock:
                     self.active_connections -= 1
+                self.registry.gauge("open_connections").add(-1)
                 try:
                     conn.close()
                 except OSError:
@@ -146,37 +158,68 @@ class ThreadPoolHttpServer:
 
     def _serve_connection(self, conn: socket.socket) -> None:
         """One thread bound to one connection, blocking I/O throughout."""
-        parser = RequestParser()
-        while not self._stopping.is_set():
-            conn.settimeout(self._idle_timeout_now())
-            try:
-                data = conn.recv(64 * 1024)
-            except socket.timeout:
-                # Idle reap: disconnect to free this thread (the client
-                # will observe a reset if it sends later).
-                with self._lock:
-                    self.idle_reaps += 1
-                return
-            except OSError:
-                return
-            if not data:
-                return
-            try:
-                requests = parser.feed(data)
-            except ParseError:
-                conn.sendall(render_response_head(400, "Bad Request", 0, False))
-                return
-            for request in requests:
-                if not self._respond(conn, request):
+        span = self.recorder.open() if self.recorder is not None else None
+        if span is not None:
+            span.mark("accept")
+        status = "closed"
+        try:
+            parser = RequestParser()
+            while not self._stopping.is_set():
+                conn.settimeout(self._idle_timeout_now())
+                try:
+                    data = conn.recv(64 * 1024)
+                except socket.timeout:
+                    # Idle reap: disconnect to free this thread (the client
+                    # will observe a reset if it sends later).
+                    with self._lock:
+                        self.idle_reaps += 1
+                    status = "idle_reap"
                     return
+                except OSError:
+                    status = "reset"
+                    return
+                if not data:
+                    return
+                try:
+                    requests = parser.feed(data)
+                except ParseError:
+                    conn.sendall(
+                        render_response_head(400, "Bad Request", 0, False)
+                    )
+                    return
+                for request in requests:
+                    if not self._respond(conn, request, span):
+                        return
+        finally:
+            if self.recorder is not None:
+                self.recorder.finish(span, status)
 
-    def _respond(self, conn: socket.socket, request) -> bool:
+    def _respond(self, conn: socket.socket, request, span=None) -> bool:
+        if request.target == METRICS_PATH:
+            body = self.registry.prometheus_text().encode()
+            try:
+                conn.sendall(
+                    render_response_head(
+                        200, "OK", len(body), request.keep_alive
+                    )
+                )
+                conn.sendall(body)
+            except OSError:
+                return False
+            return request.keep_alive
+        t0 = time.monotonic()
+        if span is not None:
+            span.mark("svc_start")
         body = self.docroot.lookup(request.target)
+        if span is not None:
+            span.mark("svc_end")
+            span.mark("tx_start")
         try:
             if body is None:
                 conn.sendall(
                     render_response_head(404, "Not Found", 0, request.keep_alive)
                 )
+                self.registry.counter("requests_not_found").inc()
             else:
                 conn.sendall(
                     render_response_head(
@@ -186,6 +229,12 @@ class ThreadPoolHttpServer:
                 conn.sendall(body)  # blocking write of the full response
         except OSError:
             return False
+        if span is not None:
+            span.mark("reply_done")
         with self._lock:
             self.requests_served += 1
+        self.registry.counter("requests_served").inc()
+        self.registry.histogram("request_latency").observe(
+            time.monotonic() - t0
+        )
         return request.keep_alive

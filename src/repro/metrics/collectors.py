@@ -13,6 +13,7 @@ httperf semantics are preserved deliberately:
 from __future__ import annotations
 
 import math
+import random
 from collections import defaultdict
 from typing import Dict, List, Optional
 
@@ -37,17 +38,28 @@ _MAX_SAMPLES = 250_000
 
 
 class StatAccumulator:
-    """Streaming summary statistics plus retained samples for quantiles."""
+    """Streaming summary statistics plus retained samples for quantiles.
 
-    __slots__ = ("count", "total", "total_sq", "min", "max", "_samples")
+    Mean/std/min/max are exact.  Percentiles come from the retained
+    samples: all of them up to ``_MAX_SAMPLES``, beyond which a seeded
+    reservoir (Vitter's Algorithm R) keeps a uniform random subset —
+    so quantiles of very long runs stay unbiased instead of reflecting
+    only the first N observations.  ``samples_dropped`` counts the
+    observations not retained.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("count", "total", "total_sq", "min", "max", "_samples",
+                 "samples_dropped", "_rng")
+
+    def __init__(self, seed: int = 0x5EED) -> None:
         self.count = 0
         self.total = 0.0
         self.total_sq = 0.0
         self.min = math.inf
         self.max = -math.inf
         self._samples: List[float] = []
+        self.samples_dropped = 0
+        self._rng = random.Random(seed)
 
     def add(self, value: float) -> None:
         """Record one observation."""
@@ -60,6 +72,13 @@ class StatAccumulator:
             self.max = value
         if len(self._samples) < _MAX_SAMPLES:
             self._samples.append(value)
+        else:
+            # Reservoir: keep each of the `count` values with equal
+            # probability _MAX_SAMPLES / count.
+            j = self._rng.randrange(self.count)
+            if j < _MAX_SAMPLES:
+                self._samples[j] = value
+            self.samples_dropped += 1
 
     @property
     def mean(self) -> float:
@@ -89,6 +108,7 @@ class StatAccumulator:
             "p50": self.percentile(50),
             "p90": self.percentile(90),
             "p99": self.percentile(99),
+            "samples_dropped": self.samples_dropped,
         }
 
 

@@ -118,6 +118,7 @@ class Connection:
         "in_flight",
         "inbox",
         "watcher",
+        "span",
         "_backlog_since",
         "_established_ev",
         "_syn_accepted",
@@ -147,6 +148,8 @@ class Connection:
         self.in_flight = 0
         self.inbox = Store(sim)
         self.watcher = None  # selector, for event-driven servers
+        recorder = listener.recorder
+        self.span = recorder.open() if recorder is not None else None
         self._backlog_since: Optional[float] = None  # accept-queue entry time
         self._established_ev = Event(sim)
         self._syn_accepted = False
@@ -208,6 +211,8 @@ class Connection:
                 tracer.emit("error", "reset_observed", conn=id(self))
             raise ResetByServer()
         self._recv_pending.append(pending)
+        if self.span is not None:
+            self.span.mark("req_arrive")
         self.inbox.put(request)
         self._notify_readable()
         return pending
@@ -275,6 +280,8 @@ class Connection:
             return
         self.established = True
         self._established_ev.succeed()
+        if self.span is not None:
+            self.span.mark("established")
         tracer = self.listener.tracer
         if tracer is not None:
             tracer.emit(
@@ -383,6 +390,8 @@ class Connection:
         if last:
             self._recv_pending.popleft()
             pending.complete.succeed(self.sim.now)
+            if self.span is not None:
+                self.span.mark("reply_done")
 
     def _wake_writable_waiters(self) -> None:
         if not self._writable_waiters:
@@ -437,6 +446,8 @@ class ListenSocket:
         kernel_bytes_per_conn: int = 32 * 1024,
         tracer=None,
         overload=None,
+        recorder=None,
+        profiler=None,
     ) -> None:
         self.sim = sim
         self.machine = machine
@@ -444,6 +455,12 @@ class ListenSocket:
         self.kernel_bytes_per_conn = kernel_bytes_per_conn
         self.tracer = tracer
         self.overload = overload
+        #: Optional :class:`~repro.obs.SpanRecorder`: connections open a
+        #: lifecycle span at creation and mark backlog entry/accept here.
+        self.recorder = recorder
+        #: Optional :class:`~repro.obs.PhaseProfiler` for kernel-side CPU
+        #: (SYN reject cost).
+        self.profiler = profiler
         self._backlog = Store(sim, capacity=backlog)
         self.syns_received = 0
         self.syns_dropped = 0
@@ -463,6 +480,12 @@ class ListenSocket:
     def backlog_capacity(self) -> int:
         """Size of the kernel accept queue."""
         return self._backlog.capacity or 0
+
+    def _charge_reject(self) -> None:
+        """CPU cost of dropping a SYN (fire and forget, phase-attributed)."""
+        if self.profiler is not None:
+            self.profiler.add("reject", self.costs.reject)
+        self.machine.cpu.execute(self.costs.reject)
 
     # -- overload-control plumbing ------------------------------------------
     def _oldest_wait(self) -> float:
@@ -496,7 +519,7 @@ class ListenSocket:
         ):
             self.syns_dropped += 1
             self.syns_shed += 1
-            self.machine.cpu.execute(self.costs.reject)  # fire and forget
+            self._charge_reject()
             if self.tracer is not None:
                 self.tracer.emit(
                     "error", "syn_shed", backlog=self.backlog_depth
@@ -504,7 +527,7 @@ class ListenSocket:
             return False
         if self._backlog.is_full and self._backlog.waiting_getters == 0:
             self.syns_dropped += 1
-            self.machine.cpu.execute(self.costs.reject)  # fire and forget
+            self._charge_reject()
             if self.tracer is not None:
                 self.tracer.emit(
                     "error", "syn_drop", backlog=self.backlog_depth
@@ -522,6 +545,8 @@ class ListenSocket:
         front = ctl is not None and ctl.discipline.front_insert
         self._backlog.put(conn, front=front)
         self.handshakes_completed += 1
+        if conn.span is not None:
+            conn.span.mark("backlog_enter")
         if self.backlog_depth > self.backlog_peak:
             self.backlog_peak = self.backlog_depth
         return True
@@ -571,6 +596,8 @@ class ListenSocket:
             if not self._admit_dequeued(conn):
                 continue
             conn.accepted_by_app = True
+            if conn.span is not None:
+                conn.span.mark("accept")
             self.accepted += 1
             return conn
 
@@ -587,5 +614,7 @@ class ListenSocket:
             if not self._admit_dequeued(conn):
                 continue
             conn.accepted_by_app = True
+            if conn.span is not None:
+                conn.span.mark("accept")
             self.accepted += 1
             return conn

@@ -1,0 +1,59 @@
+"""Request-lifecycle observability: spans, histograms, phase profiling.
+
+The paper's central explanatory claim (figure 2) — httpd2's response
+times look low only because failed connections are excluded and clients
+are served serialized, while nio's grow because everyone progresses
+concurrently — is a claim about *where time is spent inside a
+connection*.  Window-level means cannot show it; this package can:
+
+* :class:`SpanRecorder` stamps every connection with a lifecycle span
+  timeline (SYN -> backlog wait -> accept -> parse -> service queue ->
+  CPU service -> transmit -> close/reset/timeout), mounted on the
+  simulated servers via ``ServerSpec(observe=True)`` and on the live
+  socket servers via their ``recorder`` argument (the recorder is
+  clock-agnostic: simulated seconds or ``time.monotonic``);
+* :class:`Registry` holds counters, gauges and log-bucketed
+  :class:`LogHistogram` metrics with mergeable buckets, shared by the
+  sim and live code paths, renderable as Prometheus text exposition;
+* :class:`PhaseProfiler` attributes every CPU-second a simulated server
+  burns to a phase (accept/select/parse/service/transmit/...), so
+  architectures can be compared by where their cycles go;
+* exporters turn recorded spans into JSONL, Chrome ``trace_event``
+  JSON (flamegraph-viewable per-connection timelines) and the registry
+  into Prometheus text.
+
+Everything is opt-in and pay-for-use: with no recorder/profiler mounted
+the instrumentation sites cost one attribute load and an ``is None``
+check.
+"""
+
+from .export import (
+    spans_from_jsonl,
+    spans_to_chrome_trace,
+    spans_to_jsonl,
+)
+from .hist import CounterMetric, GaugeMetric, LogHistogram, Registry
+from .profiler import PhaseProfiler
+from .report import format_phase_table, format_registry_table, render_timeline
+from .spans import (
+    ConnSpan,
+    SpanRecorder,
+    phase_intervals,
+)
+
+__all__ = [
+    "ConnSpan",
+    "SpanRecorder",
+    "phase_intervals",
+    "CounterMetric",
+    "GaugeMetric",
+    "LogHistogram",
+    "Registry",
+    "PhaseProfiler",
+    "spans_to_jsonl",
+    "spans_from_jsonl",
+    "spans_to_chrome_trace",
+    "format_phase_table",
+    "format_registry_table",
+    "render_timeline",
+]

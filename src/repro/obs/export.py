@@ -1,0 +1,69 @@
+"""Span exporters: JSONL dumps and Chrome ``trace_event`` JSON.
+
+JSONL (one span per line) round-trips losslessly through
+:func:`spans_from_jsonl`, so traces can be dumped from a run and
+re-analysed offline.  The Chrome format (`chrome://tracing`, Perfetto)
+renders each connection as a track (``tid``) of complete events — a
+flamegraph-style view of exactly where a connection's lifetime went.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List
+
+from .spans import ConnSpan, phase_intervals
+
+__all__ = ["spans_to_jsonl", "spans_from_jsonl", "spans_to_chrome_trace"]
+
+
+def spans_to_jsonl(spans: Iterable[ConnSpan]) -> str:
+    """One compact JSON object per line per span."""
+    return "\n".join(
+        json.dumps(span.to_dict(), separators=(",", ":")) for span in spans
+    )
+
+
+def spans_from_jsonl(text: str) -> List[ConnSpan]:
+    """Inverse of :func:`spans_to_jsonl`."""
+    return [
+        ConnSpan.from_dict(json.loads(line))
+        for line in text.splitlines()
+        if line.strip()
+    ]
+
+
+def spans_to_chrome_trace(spans: Iterable[ConnSpan]) -> Dict:
+    """Chrome ``trace_event`` JSON object for the given spans.
+
+    Each connection becomes one track (``tid`` = connection id) of
+    ``"X"`` (complete) events, one per lifecycle phase, with timestamps
+    in microseconds as the format requires; the terminal status is an
+    instant event at the span's end.
+    """
+    events: List[Dict] = []
+    for span in spans:
+        for phase, start, end in phase_intervals(span):
+            events.append(
+                {
+                    "name": phase,
+                    "ph": "X",
+                    "ts": start * 1e6,
+                    "dur": (end - start) * 1e6,
+                    "pid": 1,
+                    "tid": span.cid,
+                    "cat": "conn",
+                }
+            )
+        if span.t_end is not None:
+            events.append(
+                {
+                    "name": span.status or "open",
+                    "ph": "i",
+                    "ts": span.t_end * 1e6,
+                    "pid": 1,
+                    "tid": span.cid,
+                    "s": "t",
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

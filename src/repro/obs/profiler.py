@@ -1,0 +1,67 @@
+"""Sim-side phase profiler: where do the server's CPU-seconds go?
+
+Every simulated server charges CPU through ``cpu.execute(cost)`` at a
+handful of well-known sites (accept, selector scan, parse, file service,
+transmit, close, ...).  With a :class:`PhaseProfiler` mounted, each site
+also attributes its cost to a named phase, so a run can answer the
+question the paper's figures only imply: per architecture, how much CPU
+went to parsing vs serving vs selector overhead vs scheduler loss.
+
+Attribution happens at submission time (costs are deterministic), so the
+profiler adds one dict update per burst and nothing to the event loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["PhaseProfiler"]
+
+
+class PhaseProfiler:
+    """Accumulates CPU-seconds per named phase."""
+
+    def __init__(self) -> None:
+        self.cpu_seconds: Dict[str, float] = {}
+
+    def add(self, phase: str, cost: float) -> None:
+        """Attribute ``cost`` CPU-seconds to ``phase``."""
+        self.cpu_seconds[phase] = self.cpu_seconds.get(phase, 0.0) + cost
+
+    @property
+    def attributed(self) -> float:
+        """Total CPU-seconds attributed to any phase."""
+        return sum(self.cpu_seconds.values())
+
+    def merge(self, other: "PhaseProfiler") -> None:
+        """Fold another profiler's attribution into this one."""
+        for phase, cost in other.cpu_seconds.items():
+            self.add(phase, cost)
+
+    def snapshot(self, total: Optional[float] = None) -> Dict[str, float]:
+        """Per-phase CPU-seconds, plus ``unattributed`` when ``total``
+        (e.g. ``cpu.total_cost``) is supplied."""
+        out = dict(sorted(self.cpu_seconds.items()))
+        if total is not None:
+            out["unattributed"] = max(0.0, total - self.attributed)
+        return out
+
+    def shares(self, total: Optional[float] = None) -> Dict[str, float]:
+        """Fractions of the attributed (or supplied) total per phase."""
+        snap = self.snapshot(total)
+        denom = sum(snap.values())
+        if denom <= 0.0:
+            return {phase: 0.0 for phase in snap}
+        return {phase: cost / denom for phase, cost in snap.items()}
+
+    def table(self, total: Optional[float] = None) -> str:
+        """Aligned plain-text phase table (CPU-seconds and share)."""
+        snap = self.snapshot(total)
+        denom = sum(snap.values()) or 1.0
+        width = max((len(p) for p in snap), default=5)
+        lines = [
+            f"{phase.rjust(width)}  {cost * 1e3:10.3f} ms  "
+            f"{100.0 * cost / denom:5.1f}%"
+            for phase, cost in snap.items()
+        ]
+        return "\n".join(lines) or "(no CPU attributed)"

@@ -81,20 +81,20 @@ class AmpedServer(Server):
 
     # ------------------------------------------------------------------
     def _acceptor(self):
-        cpu = self.machine.cpu
         while True:
             conn = yield from self.listener.accept()
-            yield cpu.execute(self.costs.accept)
+            yield self._exec("accept", self.costs.accept)
             self.connections_handled += 1
             self._states[conn] = _ConnState()
             self.selector.register(conn, READ)
 
     def _helper(self, index: int):
         """Absorb file-lookup (disk) work off the event loop."""
-        cpu = self.machine.cpu
         while True:
             conn, response_bytes = yield self.io_queue.get()
-            yield cpu.execute(self.costs.file_lookup)
+            yield self._exec("service", self.costs.file_lookup)
+            if conn.span is not None:
+                conn.span.mark("svc_end")
             self.io_completions += 1
             state = self._states.get(conn)
             if state is None or state.closed:
@@ -105,11 +105,10 @@ class AmpedServer(Server):
 
     def _loop(self):
         """The never-blocking main event loop."""
-        cpu = self.machine.cpu
         per_event = self.costs.select_per_event + self.costs.dispatch
         while True:
             conn, kind = yield from self.selector.next_ready()
-            yield cpu.execute(per_event)
+            yield self._exec("select", per_event)
             state = self._states.get(conn)
             if state is None or state.closed:
                 continue
@@ -121,47 +120,51 @@ class AmpedServer(Server):
 
     def _drain_reads(self, conn: Connection, state: _ConnState):
         """Parse readable requests; hand file work to helpers."""
-        cpu = self.machine.cpu
         while True:
             item = conn.try_recv()
             if item is None:
                 return False
             if item is EOF:
-                yield cpu.execute(self.costs.close)
+                yield self._exec("close", self.costs.close)
                 self._close(conn, state)
                 return True
             # Loop does the protocol part only; disk goes to a helper.
-            yield cpu.execute(self.costs.read_syscall + self.costs.parse_request)
+            if conn.span is not None:
+                conn.span.mark("svc_start")
+            yield self._exec(
+                "parse", self.costs.read_syscall + self.costs.parse_request
+            )
             self.io_queue.put(
                 (conn, self.semantics.response_wire_bytes(item))
             )
 
     def _pump_writes(self, conn: Connection, state: _ConnState):
-        cpu = self.machine.cpu
         chunk = self.semantics.chunk_bytes
         while True:
             if state.remaining == 0:
                 if not state.queue:
                     break
                 state.remaining = state.queue.popleft()
+                if conn.span is not None:
+                    conn.span.mark("tx_start")
             if not conn.peer_alive:
-                yield cpu.execute(self.costs.close)
+                yield self._exec("close", self.costs.close)
                 self._close(conn, state)
                 return
             n = min(chunk, state.remaining, conn.sndbuf - conn.in_flight)
             if n <= 0:
                 self.selector.set_interest(conn, READ | WRITE)
                 return
-            yield cpu.execute(self._chunk_cost(n))
+            yield self._exec("transmit", self._chunk_cost(n))
             conn.server_send_chunk(n, last=(state.remaining == n))
             state.remaining -= n
             if state.remaining == 0:
                 self.requests_served += 1
                 if not self.semantics.keep_alive:
-                    yield cpu.execute(self.costs.close)
+                    yield self._exec("close", self.costs.close)
                     self._close(conn, state)
                     return
-                yield cpu.execute(self.costs.keepalive_check)
+                yield self._exec("keepalive", self.costs.keepalive_check)
         self.selector.set_interest(conn, READ)
 
     def _close(self, conn: Connection, state: _ConnState) -> None:

@@ -49,6 +49,9 @@ class Server:
         self.requests_served = 0
         self.connections_handled = 0
         self.started = False
+        #: Optional :class:`~repro.obs.PhaseProfiler`; when mounted, every
+        #: CPU burst issued through :meth:`_exec` is attributed to a phase.
+        self.profiler = self.listener.profiler
 
     def start(self) -> None:
         """Spawn the server's threads/processes onto the simulator."""
@@ -87,6 +90,37 @@ class Server:
         return out
 
     # -- shared helpers ---------------------------------------------------------
+    def _exec(self, phase: str, cost: float):
+        """Charge ``cost`` CPU-seconds, attributed to ``phase``.
+
+        Returns the completion event from ``cpu.execute`` so callers can
+        ``yield`` it exactly as before; with no profiler mounted the only
+        extra work is one ``is None`` check.
+        """
+        if self.profiler is not None:
+            self.profiler.add(phase, cost)
+        return self.machine.cpu.execute(cost)
+
+    def _service_burst(self, conn, cost: Optional[float] = None):
+        """One request's CPU service, bracketed by span marks.
+
+        Generator: ``yield from self._service_burst(conn)`` burns the
+        read+parse+lookup cost, attributing read/parse to the ``parse``
+        phase and the file lookup to ``service``, and stamps
+        ``svc_start``/``svc_end`` on the connection's span.
+        """
+        if conn.span is not None:
+            conn.span.mark("svc_start")
+        c = self.costs
+        if self.profiler is not None:
+            self.profiler.add("parse", c.read_syscall + c.parse_request)
+            self.profiler.add("service", c.file_lookup)
+        yield self.machine.cpu.execute(
+            cost if cost is not None else self._service_cost()
+        )
+        if conn.span is not None:
+            conn.span.mark("svc_end")
+
     def _service_cost(self) -> float:
         """CPU to read + parse a request and locate its file."""
         c = self.costs

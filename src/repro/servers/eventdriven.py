@@ -116,10 +116,9 @@ class EventDrivenServer(Server):
     # ------------------------------------------------------------------
     def _acceptor(self):
         """Continuously drain the kernel backlog into a selector."""
-        cpu = self.machine.cpu
         while True:
             conn = yield from self.listener.accept()
-            yield cpu.execute(self.costs.accept)
+            yield self._exec("accept", self.costs.accept)
             self.connections_handled += 1
             self._states[conn] = _ConnState(self.sim.now)
             selector = self.selectors[self._assign_seq % len(self.selectors)]
@@ -128,12 +127,11 @@ class EventDrivenServer(Server):
 
     def _worker(self, index: int):
         """Select -> dispatch -> handle loop."""
-        cpu = self.machine.cpu
         selector = self.selectors[index % len(self.selectors)]
         per_event_cost = self.costs.select_per_event + self.costs.dispatch
         while True:
             conn, kind = yield from selector.next_ready()
-            yield cpu.execute(per_event_cost)
+            yield self._exec("select", per_event_cost)
             self.events_processed += 1
             state = self._states.get(conn)
             if state is None or state.closed:
@@ -152,7 +150,6 @@ class EventDrivenServer(Server):
     # ------------------------------------------------------------------
     def _handle(self, conn: Connection, state: _ConnState, kind: int):
         """Drain readable data, then pump non-blocking writes."""
-        cpu = self.machine.cpu
         state.last_activity = self.sim.now
         if kind == READ:
             while True:
@@ -160,24 +157,25 @@ class EventDrivenServer(Server):
                 if item is None:
                     break
                 if item is EOF:
-                    yield cpu.execute(self.costs.close)
+                    yield self._exec("close", self.costs.close)
                     self._close(conn, state)
                     return
-                yield cpu.execute(self._service_cost())
+                yield from self._service_burst(conn)
                 state.queue.append(self.semantics.response_wire_bytes(item))
         yield from self._pump_writes(conn, state)
 
     def _pump_writes(self, conn: Connection, state: _ConnState):
         """Write until done or EWOULDBLOCK; manage interest ops."""
-        cpu = self.machine.cpu
         chunk = self.semantics.chunk_bytes
         while True:
             if state.remaining == 0:
                 if not state.queue:
                     break
                 state.remaining = state.queue.popleft()
+                if conn.span is not None:
+                    conn.span.mark("tx_start")
             if not conn.peer_alive:
-                yield cpu.execute(self.costs.close)
+                yield self._exec("close", self.costs.close)
                 self._close(conn, state)
                 return
             room = conn.sndbuf - conn.in_flight
@@ -187,16 +185,16 @@ class EventDrivenServer(Server):
                 if conn.watcher is not None:
                     conn.watcher.set_interest(conn, READ | WRITE)
                 return
-            yield cpu.execute(self._chunk_cost(n))
+            yield self._exec("transmit", self._chunk_cost(n))
             conn.server_send_chunk(n, last=(state.remaining == n))
             state.remaining -= n
             if state.remaining == 0:
                 self.requests_served += 1
                 if not self.semantics.keep_alive:
-                    yield cpu.execute(self.costs.close)
+                    yield self._exec("close", self.costs.close)
                     self._close(conn, state)
                     return
-                yield cpu.execute(self.costs.keepalive_check)
+                yield self._exec("keepalive", self.costs.keepalive_check)
         if conn.watcher is not None:
             conn.watcher.set_interest(conn, READ)
 
@@ -209,7 +207,6 @@ class EventDrivenServer(Server):
         and under pressure the selector sheds its idlest channels to
         reclaim kernel memory.
         """
-        cpu = self.machine.cpu
         interval = max(0.5, self.overload.timeout.floor / 2.0)
         while True:
             yield self.sim.timeout(interval)
@@ -227,7 +224,7 @@ class EventDrivenServer(Server):
                 if state.closed or state.busy:
                     continue
                 self.idle_reaps += 1
-                yield cpu.execute(self.costs.close)
+                yield self._exec("close", self.costs.close)
                 self._close(conn, state)
 
     def _close(self, conn: Connection, state: _ConnState) -> None:

@@ -89,21 +89,19 @@ class StagedServer(Server):
 
     # -- stage 1: accept ----------------------------------------------------
     def _accept_stage(self):
-        cpu = self.machine.cpu
         while True:
             conn = yield from self.listener.accept()
-            yield cpu.execute(self.costs.accept)
+            yield self._exec("accept", self.costs.accept)
             self.connections_handled += 1
             self._states[conn] = _WriteState()
             self.selector.register(conn, READ)
 
     # -- stage 2: read + parse ------------------------------------------------
     def _read_stage(self, index: int):
-        cpu = self.machine.cpu
         per_event = self.costs.select_per_event + self.costs.dispatch
         while True:
             conn, _kind = yield from self.selector.next_ready()
-            yield cpu.execute(per_event)
+            yield self._exec("select", per_event)
             state = self._states.get(conn)
             if state is None or state.closed:
                 continue
@@ -112,18 +110,17 @@ class StagedServer(Server):
                 if item is None:
                     break
                 if item is EOF:
-                    yield cpu.execute(self.costs.close)
+                    yield self._exec("close", self.costs.close)
                     self._close(conn, state)
                     break
-                yield cpu.execute(self._service_cost())
+                yield from self._service_burst(conn)
                 state.pending.append(self.semantics.response_wire_bytes(item))
-                yield cpu.execute(self.costs.stage_handoff)
+                yield self._exec("handoff", self.costs.stage_handoff)
                 self.stage_handoffs += 1
                 self.send_queue.put(conn)
 
     # -- stage 3: send ----------------------------------------------------------
     def _send_stage(self, index: int):
-        cpu = self.machine.cpu
         chunk = self.semantics.chunk_bytes
         while True:
             conn = yield self.send_queue.get()
@@ -133,23 +130,25 @@ class StagedServer(Server):
             state.busy = True
             while state.pending and not state.closed:
                 remaining = state.pending.popleft()
+                if conn.span is not None:
+                    conn.span.mark("tx_start")
                 while remaining > 0:
                     n = min(chunk, remaining)
                     yield from conn.wait_writable(n)
                     if not conn.peer_alive:
-                        yield cpu.execute(self.costs.close)
+                        yield self._exec("close", self.costs.close)
                         self._close(conn, state)
                         break
-                    yield cpu.execute(self._chunk_cost(n))
+                    yield self._exec("transmit", self._chunk_cost(n))
                     conn.server_send_chunk(n, last=(remaining == n))
                     remaining -= n
                 else:
                     self.requests_served += 1
                     if not self.semantics.keep_alive:
-                        yield cpu.execute(self.costs.close)
+                        yield self._exec("close", self.costs.close)
                         self._close(conn, state)
                         break
-                    yield cpu.execute(self.costs.keepalive_check)
+                    yield self._exec("keepalive", self.costs.keepalive_check)
                     continue
                 break  # inner loop broke: connection closed
             state.busy = False

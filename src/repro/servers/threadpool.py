@@ -137,7 +137,6 @@ class ThreadPoolServer(Server):
 
     # ------------------------------------------------------------------
     def _worker(self, thread):
-        cpu = self.machine.cpu
         # Dynamic workers wake periodically so the manager's retire
         # requests are honoured even while the accept queue is quiet.
         accept_timeout = self.manager_interval if self.dynamic else None
@@ -152,13 +151,12 @@ class ThreadPoolServer(Server):
             self.idle_workers -= 1
             if conn is None:
                 continue
-            yield cpu.execute(self.costs.accept)
+            yield self._exec("accept", self.costs.accept)
             self.connections_handled += 1
             yield from self._serve_connection(conn)
 
     def _serve_connection(self, conn: Connection):
         """Blocking request/response loop bound to one worker thread."""
-        cpu = self.machine.cpu
         while True:
             # Adaptive timeout (when mounted) tightens the fixed Apache
             # Timeout/KeepAliveTimeout as resource pressure rises.
@@ -174,7 +172,7 @@ class ThreadPoolServer(Server):
                 break
             if request is EOF:
                 break
-            yield cpu.execute(self._service_cost())
+            yield from self._service_burst(conn)
             if not conn.peer_alive:
                 break
             sent_ok = yield from self._blocking_send(conn, request)
@@ -184,8 +182,8 @@ class ThreadPoolServer(Server):
             if not self.semantics.keep_alive:
                 break
             self.keepalive_requests += 1
-            yield cpu.execute(self.costs.keepalive_check)
-        yield cpu.execute(self.costs.close)
+            yield self._exec("keepalive", self.costs.keepalive_check)
+        yield self._exec("close", self.costs.close)
         conn.server_close()
 
     def _blocking_send(self, conn: Connection, request) -> object:
@@ -193,15 +191,16 @@ class ThreadPoolServer(Server):
 
         Returns False if the client disappeared mid-response.
         """
-        cpu = self.machine.cpu
         chunk = self.semantics.chunk_bytes
         remaining = self.semantics.response_wire_bytes(request)
+        if conn.span is not None:
+            conn.span.mark("tx_start")
         while remaining > 0:
             n = min(chunk, remaining)
             yield from conn.wait_writable(n)
             if not conn.peer_alive or conn.server_closed:
                 return False
-            yield cpu.execute(self._chunk_cost(n))
+            yield self._exec("transmit", self._chunk_cost(n))
             conn.server_send_chunk(n, last=(remaining == n))
             remaining -= n
         return True

@@ -99,6 +99,13 @@ class Tracer:
             n for (cat, _act), n in self._counts.items() if cat == category
         )
 
+    def counts_by_category(self) -> Dict[str, int]:
+        """Total emissions per category (including evicted events)."""
+        out: Dict[str, int] = {}
+        for (cat, _act), n in self._counts.items():
+            out[cat] = out.get(cat, 0) + n
+        return out
+
     def summary(self) -> str:
         """Per-(category, action) emission counts."""
         lines = [

@@ -13,14 +13,14 @@ generator (:mod:`repro.workload.httperf`) executes them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
 
 from ..http.files import FilePopulation
 from ..http.messages import Request
-from .distributions import BoundedPareto, Distribution, Geometric
+from .distributions import BoundedPareto, Geometric
 
 __all__ = ["SurgeConfig", "SessionPlan", "SurgeWorkload"]
 

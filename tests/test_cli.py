@@ -59,3 +59,56 @@ def test_parser_requires_command():
     parser = build_parser()
     with pytest.raises(SystemExit):
         parser.parse_args([])
+
+
+def test_run_command_with_trace(capsys):
+    rc = main([
+        "run", "--server", "nio", "--threads", "1",
+        "--clients", "15", "--cpu-speed", "0.2",
+        "--duration", "4", "--warmup", "2",
+        "--trace",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "trace event counts" in out
+    assert "trace_ev" in out
+
+
+def test_observe_command_report(capsys):
+    rc = main([
+        "observe", "--server", "httpd", "--threads", "16",
+        "--clients", "30", "--cpu-speed", "0.5",
+        "--duration", "5", "--warmup", "3",
+        "--slowest", "2",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "CPU seconds by phase" in out
+    assert "req_service" in out
+    assert "queue-wait vs service breakdown" in out
+    assert "includes failed conns" in out
+    assert "slowest connections" in out
+
+
+def test_observe_command_writes_exports(tmp_path, capsys):
+    spans = tmp_path / "spans.jsonl"
+    chrome = tmp_path / "trace.json"
+    rc = main([
+        "observe", "--server", "nio", "--threads", "1",
+        "--clients", "20", "--cpu-speed", "0.2",
+        "--duration", "4", "--warmup", "2",
+        "--spans", str(spans), "--chrome", str(chrome),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "wrote" in out
+
+    from repro.obs import spans_from_jsonl
+    parsed = spans_from_jsonl(spans.read_text())
+    assert len(parsed) > 0
+    assert all(s.status is not None for s in parsed)
+
+    import json
+    trace = json.loads(chrome.read_text())
+    assert trace["traceEvents"]
+    assert any(e["ph"] == "X" for e in trace["traceEvents"])

@@ -7,7 +7,6 @@ from repro.core import (
     FigureRunner,
     MeasurementProfile,
     PROFILES,
-    Scenario,
     ServerSpec,
     SweepResult,
     UP_GIGABIT,
@@ -23,7 +22,7 @@ from repro.core import (
     sweep_clients,
 )
 from repro.metrics import RunMetrics
-from repro.net import ListenSocket, NetworkSpec
+from repro.net import ListenSocket
 from repro.osmodel import Machine, MachineSpec
 from repro.servers import (
     AmpedServer,

@@ -9,10 +9,8 @@ each figure makes.  The full-scale equivalents live in ``benchmarks/``.
 import pytest
 
 from repro.core import (
-    Experiment,
     Scenario,
     ServerSpec,
-    WorkloadSpec,
     find_crossover,
     sweep_clients,
 )

@@ -168,3 +168,72 @@ def test_format_table_alignment():
 
 def test_format_table_empty():
     assert "(no data)" in format_table([], title="x")
+
+
+# ---------------------------------------------------------------------------
+# StatAccumulator reservoir sampling
+# ---------------------------------------------------------------------------
+
+def test_accumulator_reservoir_caps_samples():
+    from repro.metrics.collectors import _MAX_SAMPLES
+
+    acc = StatAccumulator()
+    n = _MAX_SAMPLES + 10_000
+    for i in range(n):
+        acc.add(float(i))
+    # Exact statistics are unaffected by the reservoir.
+    assert acc.count == n
+    assert acc.min == 0.0
+    assert acc.max == float(n - 1)
+    assert acc.mean == pytest.approx((n - 1) / 2.0)
+    # Retention is capped; the overflow is counted, not silently lost.
+    assert len(acc._samples) == _MAX_SAMPLES
+    assert acc.samples_dropped == 10_000
+    assert acc.summary()["samples_dropped"] == 10_000
+    # A uniform reservoir over 0..n keeps quantiles roughly in place.
+    assert acc.percentile(50) == pytest.approx(n / 2, rel=0.05)
+
+
+def test_accumulator_reservoir_is_seeded():
+    a, b = StatAccumulator(), StatAccumulator()
+    from repro.metrics.collectors import _MAX_SAMPLES
+
+    for i in range(_MAX_SAMPLES + 500):
+        a.add(float(i))
+        b.add(float(i))
+    assert a._samples == b._samples  # same seed -> same reservoir
+
+
+def test_accumulator_no_drops_below_cap():
+    acc = StatAccumulator()
+    for v in (1.0, 2.0, 3.0):
+        acc.add(v)
+    assert acc.samples_dropped == 0
+    assert acc.summary()["samples_dropped"] == 0
+
+
+# ---------------------------------------------------------------------------
+# trace-event surfacing in RunMetrics
+# ---------------------------------------------------------------------------
+
+def test_run_metrics_trace_columns_absent_by_default():
+    row = make_run_metrics().row()
+    assert "trace_ev" not in row
+    assert "trace_drop" not in row
+
+
+def test_run_metrics_trace_columns():
+    sim = Simulator()
+    hub = MetricsHub(sim, warmup=0.0, duration=10.0)
+    hub.record_reply(0.05, 0.02, 15_000)
+    m = RunMetrics.from_hub(
+        hub, clients=60, cpu_utilization=0.1, server_stats={},
+        trace_dropped=3,
+        trace_counts={"conn": 40, "http": 60},
+    )
+    assert m.trace_dropped == 3
+    assert m.trace_counts == {"conn": 40, "http": 60}
+    row = m.row()
+    assert row["trace_ev"] == 100
+    assert row["trace_drop"] == 3
+    assert "trace_ev" in format_table([row])

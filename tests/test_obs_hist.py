@@ -1,0 +1,198 @@
+"""Unit tests for the observability histogram registry."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import CounterMetric, GaugeMetric, LogHistogram, Registry
+
+
+# ---------------------------------------------------------------------------
+# counters / gauges
+# ---------------------------------------------------------------------------
+
+def test_counter_only_goes_up():
+    c = CounterMetric("requests")
+    c.inc()
+    c.inc(4.0)
+    assert c.value == 5.0
+    with pytest.raises(ValueError):
+        c.inc(-1.0)
+
+
+def test_counter_merge():
+    a, b = CounterMetric("x"), CounterMetric("x")
+    a.inc(2.0)
+    b.inc(3.0)
+    a.merge(b)
+    assert a.value == 5.0
+
+
+def test_gauge_set_and_add():
+    g = GaugeMetric("open")
+    g.set(10.0)
+    g.add(-4.0)
+    assert g.value == 6.0
+
+
+# ---------------------------------------------------------------------------
+# LogHistogram
+# ---------------------------------------------------------------------------
+
+def test_histogram_rejects_bad_bucketing():
+    with pytest.raises(ValueError):
+        LogHistogram("h", lo=0.0)
+    with pytest.raises(ValueError):
+        LogHistogram("h", growth=1.0)
+
+
+def test_histogram_basic_recording():
+    h = LogHistogram("lat")
+    for v in (0.0, 1e-7, 0.001, 0.01, 0.01, 10.0):
+        h.observe(v)
+    assert h.count == 6
+    assert h.underflow == 2  # 0.0 and 1e-7 are both <= lo
+    assert h.min == 0.0
+    assert h.max == 10.0
+    assert h.total == pytest.approx(10.021 + 1e-7)
+    assert h.mean == pytest.approx(h.total / 6)
+
+
+def test_histogram_negative_clamped_to_zero():
+    h = LogHistogram("lat")
+    h.observe(-3.0)
+    assert h.count == 1
+    assert h.underflow == 1
+    assert h.min == 0.0
+    assert h.total == 0.0
+
+
+def test_bucket_bounds_contain_their_samples():
+    h = LogHistogram("lat")
+    for v in (1e-5, 3.7e-4, 0.02, 1.0, 42.0):
+        idx = h.bucket_index(v)
+        assert idx is not None
+        upper = h.bucket_upper_bound(idx)
+        lower = upper / h.growth if idx > 0 else h.lo
+        assert lower < v <= upper * (1 + 1e-12)
+
+
+def test_percentile_within_bucket_error():
+    h = LogHistogram("lat")
+    values = [0.001 * (i + 1) for i in range(1000)]
+    for v in values:
+        h.observe(v)
+    # Bucket upper bounds overestimate by at most one growth factor.
+    assert 0.5 <= h.percentile(50) <= 0.5 * h.growth * 1.001
+    assert 0.9 <= h.percentile(90) <= 0.9 * h.growth * 1.001
+    assert h.percentile(100) == pytest.approx(1.0)
+
+
+def test_percentile_empty_and_underflow_only():
+    h = LogHistogram("lat")
+    assert h.percentile(99) == 0.0
+    h.observe(0.0)
+    assert h.percentile(50) == 0.0  # clamped to max, not lo
+
+
+def test_cumulative_is_monotone_and_ends_at_count():
+    h = LogHistogram("lat")
+    for v in (0.0, 0.002, 0.002, 0.5, 7.0):
+        h.observe(v)
+    cum = h.cumulative()
+    counts = [n for _, n in cum]
+    assert counts == sorted(counts)
+    assert counts[-1] == h.count
+    bounds = [ub for ub, _ in cum]
+    assert bounds == sorted(bounds)
+
+
+def test_merge_requires_same_bucketing():
+    a = LogHistogram("a")
+    b = LogHistogram("b", lo=1e-3)
+    assert not a.compatible(b)
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_summary_keys():
+    h = LogHistogram("lat")
+    h.observe(0.25)
+    s = h.summary()
+    assert set(s) == {"count", "mean", "min", "max", "p50", "p90", "p99"}
+    assert s["count"] == 1
+
+
+# Property from the issue: two histograms merged bucket-by-bucket must be
+# indistinguishable from one histogram fed the concatenated samples.
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=100.0,
+                  allow_nan=False, allow_infinity=False),
+        max_size=60,
+    ),
+    st.lists(
+        st.floats(min_value=0.0, max_value=100.0,
+                  allow_nan=False, allow_infinity=False),
+        max_size=60,
+    ),
+)
+def test_merged_equals_concatenated(xs, ys):
+    ha, hb, hc = (LogHistogram("h") for _ in range(3))
+    for v in xs:
+        ha.observe(v)
+    for v in ys:
+        hb.observe(v)
+    for v in xs + ys:
+        hc.observe(v)
+    ha.merge(hb)
+    assert ha.buckets == hc.buckets
+    assert ha.underflow == hc.underflow
+    assert ha.count == hc.count
+    assert ha.total == pytest.approx(hc.total)
+    if hc.count:
+        assert ha.min == hc.min
+        assert ha.max == hc.max
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+def test_registry_creates_on_first_use():
+    reg = Registry()
+    assert reg.counter("a") is reg.counter("a")
+    assert reg.gauge("b") is reg.gauge("b")
+    assert reg.histogram("c") is reg.histogram("c")
+    assert reg.hist_total("absent") == 0.0
+    reg.histogram("c").observe(2.5)
+    assert reg.hist_total("c") == 2.5
+
+
+def test_registry_merge():
+    a, b = Registry(), Registry()
+    a.counter("n").inc(1)
+    b.counter("n").inc(2)
+    b.histogram("h").observe(0.5)
+    a.merge(b)
+    assert a.counter("n").value == 3
+    assert a.hist_total("h") == 0.5
+
+
+def test_prometheus_text_format():
+    reg = Registry()
+    reg.counter("requests_served").inc(3)
+    reg.gauge("open_connections").set(2)
+    h = reg.histogram("latency")
+    for v in (0.0, 0.01, 0.5):
+        h.observe(v)
+    text = reg.prometheus_text()
+    assert "# TYPE repro_requests_served counter" in text
+    assert "repro_requests_served 3" in text
+    assert "# TYPE repro_open_connections gauge" in text
+    assert "# TYPE repro_latency histogram" in text
+    assert 'repro_latency_bucket{le="+Inf"} 3' in text
+    assert "repro_latency_count 3" in text
+    assert "repro_latency_sum 0.51" in text
+    assert text.endswith("\n")

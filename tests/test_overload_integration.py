@@ -9,7 +9,6 @@ Covers the subsystem's three load-bearing promises:
   socket server without modification.
 """
 
-import pytest
 
 from repro.core import Experiment, ServerSpec, WorkloadSpec
 from repro.net import Connection, ListenSocket
@@ -289,7 +288,7 @@ def test_same_policy_object_mounts_on_sim_and_live_servers():
     control = OverloadControl(admission=policy)
 
     # 1) Simulated httpd: the experiment consults the policy per SYN.
-    sim_metrics = run_mini(
+    run_mini(
         ServerSpec("httpd", 8, overload=control),
         clients=10,
         duration=20.0,

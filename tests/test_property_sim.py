@@ -7,7 +7,6 @@ Invariants:
 * completion order under PS follows virtual finish times.
 """
 
-import heapq
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

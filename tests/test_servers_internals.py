@@ -132,7 +132,7 @@ def test_event_server_partial_writes_with_tiny_sndbuf():
         conn.sndbuf = 4096  # tiny buffer: many EWOULDBLOCK round trips
         yield from conn.connect()
         p = yield from conn.send_request(Request(path="/f", response_bytes=100_000))
-        done = yield from conn.await_response(p, 50.0, 500.0)
+        yield from conn.await_response(p, 50.0, 500.0)
         results.append(p.bytes_received)
         conn.client_close()
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.sim import (
     AnyOf,
-    Event,
     Interrupted,
     SimulationError,
     Simulator,

@@ -1,7 +1,6 @@
 """Unit tests for the httperf-style emulated client against scripted servers."""
 
 import numpy as np
-import pytest
 
 from repro.http import FilePopulation
 from repro.metrics import CLIENT_TIMEOUT, CONNECTION_RESET, MetricsHub

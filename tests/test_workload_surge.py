@@ -1,7 +1,6 @@
 """Unit tests for the SURGE session model."""
 
 import numpy as np
-import pytest
 
 from repro.http import FilePopulation
 from repro.workload import SurgeConfig, SurgeWorkload
