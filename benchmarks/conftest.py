@@ -6,7 +6,9 @@ figures that the paper derives from the same experiments (1/2/3/4, 5/6,
 
 Profile selection: set ``REPRO_PROFILE`` to ``quick`` (default),
 ``standard`` (the paper's full 60-6000 client range) or ``full`` (long
-measurement windows).  Regenerated series are printed and also written to
+measurement windows).  Set ``REPRO_JOBS`` to fan sweep points out over
+that many worker processes (0 = one per CPU) — results are identical to
+a serial run.  Regenerated series are printed and also written to
 ``benchmarks/results/<figure>.txt``.
 """
 
@@ -18,7 +20,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.core import FigureRunner, active_profile
+from repro.core import FigureRunner, active_profile, resolve_jobs
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -26,12 +28,13 @@ RESULTS_DIR = Path(__file__).parent / "results"
 @pytest.fixture(scope="session")
 def figure_runner() -> FigureRunner:
     profile = active_profile(default="quick")
+    jobs = resolve_jobs(None)  # honours REPRO_JOBS; 1 = serial
     print(
         f"\n[benchmarks] measurement profile: {profile.name} "
         f"({profile.points} sweep points, duration={profile.duration}s, "
-        f"warmup={profile.warmup}s)"
+        f"warmup={profile.warmup}s, jobs={jobs})"
     )
-    return FigureRunner(profile=profile, verbose=True)
+    return FigureRunner(profile=profile, verbose=True, jobs=jobs)
 
 
 @pytest.fixture(scope="session")

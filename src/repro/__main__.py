@@ -5,7 +5,9 @@ Commands
 run      one experiment (server x machine x network x clients)
 sweep    a client-count sweep for one server configuration
 figure   regenerate one paper figure (1-10) and print its tables
+figures  regenerate every paper figure (optionally in parallel / to JSON)
 observe  run one instrumented experiment and print the span report
+bench    measure the pipeline itself: kernel events/sec + figure wall-clock
 profiles list the available measurement profiles
 
 Examples
@@ -14,8 +16,10 @@ Examples
 
     python -m repro run --server nio --threads 1 --clients 2400
     python -m repro run --server httpd --threads 4096 --cpus 4
-    python -m repro sweep --server nio --threads 2 --cpus 4
+    python -m repro sweep --server nio --threads 2 --cpus 4 --jobs 4
     python -m repro figure 3 --profile quick
+    python -m repro figures --profile quick --jobs 0 --json figures.json
+    python -m repro bench --profile quick --jobs 0
     python -m repro observe --server httpd --threads 896 --network 100m \\
         --clients 6000 --spans spans.jsonl --chrome trace.json
 """
@@ -81,6 +85,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--duration", type=float, default=10.0)
     parser.add_argument("--warmup", type=float, default=16.0)
     parser.add_argument("--seed", type=int, default=42)
+
+
+def _add_jobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for sweep points (0 = one per CPU; "
+             "default serial, or $REPRO_JOBS). Results are identical "
+             "to a serial run.",
+    )
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -175,6 +188,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         duration=args.duration,
         warmup=args.warmup,
         seed=args.seed,
+        jobs=args.jobs,
     )
     print(result.table())
     return 0
@@ -184,7 +198,9 @@ def cmd_figure(args: argparse.Namespace) -> int:
     if not 1 <= args.number <= 10:
         print("figure number must be 1-10", file=sys.stderr)
         return 2
-    runner = FigureRunner(profile=PROFILES[args.profile], verbose=True)
+    runner = FigureRunner(
+        profile=PROFILES[args.profile], verbose=True, jobs=args.jobs
+    )
     figs = getattr(runner, f"figure_{args.number}")()
     for fig in figs:
         print()
@@ -193,6 +209,45 @@ def cmd_figure(args: argparse.Namespace) -> int:
             print()
             print(fig.chart(logy=args.logy))
     return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    """Regenerate every paper figure; optionally dump them all as JSON."""
+    import json
+
+    runner = FigureRunner(
+        profile=PROFILES[args.profile], verbose=True, jobs=args.jobs
+    )
+    all_figs = runner.all_figures()
+    for name in sorted(all_figs, key=lambda n: int(n.split("_")[1])):
+        for fig in all_figs[name]:
+            print()
+            print(fig.table())
+    if args.json:
+        payload = {
+            name: [fig.to_dict() for fig in figs]
+            for name, figs in all_figs.items()
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Benchmark the pipeline itself (see repro.core.perf)."""
+    from .core import perf
+
+    argv = [
+        "--kernel-out", args.kernel_out,
+        "--figures-out", args.figures_out,
+        "--label", args.label,
+        "--profile", args.profile,
+        "--jobs", str(args.jobs if args.jobs is not None else 0),
+    ]
+    if args.skip_figures:
+        argv.append("--skip-figures")
+    return perf.main(argv)
 
 
 def cmd_profiles(_args: argparse.Namespace) -> int:
@@ -245,6 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--clients", default="60,1200,2400,3600,4800,6000",
         help="comma-separated client counts",
     )
+    _add_jobs(p_sweep)
     p_sweep.set_defaults(fn=cmd_sweep)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
@@ -254,7 +310,33 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also render ASCII charts")
     p_fig.add_argument("--logy", action="store_true",
                        help="log-scale chart y-axis")
+    _add_jobs(p_fig)
     p_fig.set_defaults(fn=cmd_figure)
+
+    p_figs = sub.add_parser(
+        "figures", help="regenerate every paper figure"
+    )
+    p_figs.add_argument("--profile", choices=sorted(PROFILES),
+                        default="quick")
+    p_figs.add_argument("--json", metavar="FILE",
+                        help="also dump every figure's data as JSON")
+    _add_jobs(p_figs)
+    p_figs.set_defaults(fn=cmd_figures)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="benchmark the pipeline: kernel events/sec + figure wall-clock",
+    )
+    p_bench.add_argument("--profile", choices=sorted(PROFILES),
+                         default="quick")
+    p_bench.add_argument("--kernel-out", default="BENCH_kernel.json")
+    p_bench.add_argument("--figures-out", default="BENCH_figures.json")
+    p_bench.add_argument("--label", default="",
+                         help="free-form tag recorded in the artifacts")
+    p_bench.add_argument("--skip-figures", action="store_true",
+                         help="only run the kernel micro-benchmarks")
+    _add_jobs(p_bench)
+    p_bench.set_defaults(fn=cmd_bench)
 
     p_prof = sub.add_parser("profiles", help="list measurement profiles")
     p_prof.set_defaults(fn=cmd_profiles)

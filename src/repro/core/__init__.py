@@ -22,6 +22,7 @@ from .params import (
     ServerSpec,
     WorkloadSpec,
 )
+from .runner import PointSpec, resolve_jobs, run_point, run_points
 from .scenarios import (
     OVERLOAD_UP,
     PROFILES,
@@ -69,4 +70,8 @@ __all__ = [
     "active_profile",
     "SweepResult",
     "sweep_clients",
+    "PointSpec",
+    "resolve_jobs",
+    "run_point",
+    "run_points",
 ]

@@ -129,10 +129,15 @@ class Experiment:
         )
         network = Network(sim, self.network)
 
-        files = FilePopulation(
-            streams.stream("files"), n_files=self.workload.n_files
+        # Memoized per (seed, n_files): every point of a sweep shares one
+        # immutable document set + precomputed distribution tables instead
+        # of regenerating identical ones (REPRO_NO_WORKLOAD_CACHE=1 to
+        # disable).  shared() derives the same "files" stream this
+        # experiment's RandomStreams would, so results are byte-identical.
+        files = FilePopulation.shared(
+            self.seed, n_files=self.workload.n_files
         )
-        surge = SurgeWorkload(files, self.workload.surge)
+        surge = SurgeWorkload.shared(files, self.workload.surge)
         metrics = MetricsHub(
             sim, warmup=self.workload.warmup, duration=self.workload.duration
         )

@@ -158,10 +158,15 @@ class FigureRunner:
         profile: Optional[MeasurementProfile] = None,
         seed: int = 42,
         verbose: bool = False,
+        jobs: Optional[int] = None,
     ) -> None:
         self.profile = profile or active_profile()
         self.seed = seed
         self.verbose = verbose
+        #: Sweep points fan out over this many worker processes
+        #: (``None``/1 = serial, 0 = one per CPU).  Results are
+        #: byte-identical either way; see :mod:`repro.core.runner`.
+        self.jobs = jobs
         self._cache: Dict[Tuple[str, str], SweepResult] = {}
 
     # -- sweep plumbing ------------------------------------------------------
@@ -185,6 +190,7 @@ class FigureRunner:
             warmup=self.profile.warmup,
             seed=self.seed,
             point_hook=self._progress if self.verbose else None,
+            jobs=self.jobs,
         )
         self._cache[key] = result
         return result
@@ -633,18 +639,25 @@ class FigureRunner:
     # -- everything ---------------------------------------------------------
     def all_figures(self) -> Dict[str, List[FigureData]]:
         """Every paper figure (1-10) in order."""
-        return {
-            "figure_1": self.figure_1(),
-            "figure_2": self.figure_2(),
-            "figure_3": self.figure_3(),
-            "figure_4": self.figure_4(),
-            "figure_5": self.figure_5(),
-            "figure_6": self.figure_6(),
-            "figure_7": self.figure_7(),
-            "figure_8": self.figure_8(),
-            "figure_9": self.figure_9(),
-            "figure_10": self.figure_10(),
-        }
+        return self.run_figures(PAPER_FIGURES)
+
+    def run_figures(
+        self, names: Optional[Tuple[str, ...]] = None
+    ) -> Dict[str, List[FigureData]]:
+        """Regenerate the named figure methods (default: all paper figures).
+
+        Names are generator-method names (``"figure_3"``,
+        ``"extension_overload_control"``, ...).  Sweeps are shared through
+        the runner cache, and each sweep's points fan out over
+        ``self.jobs`` workers.
+        """
+        out: Dict[str, List[FigureData]] = {}
+        for name in names if names is not None else PAPER_FIGURES:
+            method = getattr(self, name, None)
+            if method is None:
+                raise ValueError(f"unknown figure generator {name!r}")
+            out[name] = method()
+        return out
 
 
 #: Names of the paper-figure generator methods, for discovery/tests.

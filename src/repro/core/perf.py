@@ -1,0 +1,234 @@
+"""Performance trajectory of the reproduction pipeline itself.
+
+Two measurements, two JSON artifacts:
+
+* :func:`measure_kernel` -> ``BENCH_kernel.json``: events/second of the
+  three kernel micro-benchmarks (timeout chain, processor-sharing CPU
+  bursts, fluid-link transmissions).  These bound the dispatch cost the
+  whole figure suite leans on (~10^7 events per full regeneration).
+* :func:`measure_figures` -> ``BENCH_figures.json``: wall-clock seconds
+  to regenerate paper figures serially and with a worker pool, plus the
+  speedup.  This is the headline number for the parallel sweep runner.
+
+Both artifacts carry a ``schema`` tag, the measurement environment
+(python version, cpu count, profile) and a caller-supplied ``label`` so
+successive commits can be compared (see ``benchmarks/bench_perf_trajectory.py``
+and EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, List, Optional
+
+__all__ = [
+    "KERNEL_BENCHES",
+    "measure_kernel",
+    "measure_figures",
+    "write_json",
+]
+
+#: (name, runner, default event count).  Runners return the number of
+#: events they dispatched so events/sec = n / elapsed.
+KERNEL_BENCHES = ("timeout_chain", "cpu_bursts", "link_transmissions")
+
+
+def _environment() -> Dict:
+    """Provenance block shared by both artifacts."""
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def _kernel_runner(name: str):
+    # Imported lazily so `repro.core` does not depend on benchmarks/.
+    from ..net import Link
+    from ..osmodel import CPU
+    from ..sim import Simulator
+
+    if name == "timeout_chain":
+        def run(n: int) -> int:
+            sim = Simulator()
+            count = [0]
+
+            def chain():
+                for _ in range(n):
+                    yield sim.timeout(0.001)
+                    count[0] += 1
+
+            sim.process(chain())
+            sim.run()
+            return count[0]
+
+        return run
+    if name == "cpu_bursts":
+        def run(n: int) -> int:
+            sim = Simulator()
+            cpu = CPU(sim, nproc=2, smp_efficiency=1.0)
+            done = [0]
+            for i in range(n):
+                sim.call_later(
+                    i * 1e-4,
+                    lambda: cpu.execute(5e-4).callbacks.append(
+                        lambda _e: done.__setitem__(0, done[0] + 1)
+                    ),
+                )
+            sim.run()
+            return done[0]
+
+        return run
+    if name == "link_transmissions":
+        def run(n: int) -> int:
+            sim = Simulator()
+            link = Link(sim, 1e9, 0.0002)
+            done = [0]
+            for _ in range(n):
+                link.transmit(16_384).callbacks.append(
+                    lambda _e: done.__setitem__(0, done[0] + 1)
+                )
+            sim.run()
+            return done[0]
+
+        return run
+    raise ValueError(f"unknown kernel benchmark {name!r}")
+
+
+def measure_kernel(
+    n: int = 20_000,
+    rounds: int = 3,
+    label: str = "",
+) -> Dict:
+    """Events/second for each kernel micro-benchmark (best of ``rounds``).
+
+    Best-of is the right statistic for a floor check: scheduling noise
+    only ever makes a round *slower*, so the fastest round is the
+    closest estimate of the true cost.
+    """
+    results: Dict[str, Dict] = {}
+    for name in KERNEL_BENCHES:
+        run = _kernel_runner(name)
+        count = n if name != "cpu_bursts" else max(1, n // 2)
+        run(count)  # warm caches/allocator before timing
+        best = float("inf")
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            dispatched = run(count)
+            elapsed = time.perf_counter() - t0
+            if dispatched != count:
+                raise RuntimeError(
+                    f"{name}: dispatched {dispatched}, expected {count}"
+                )
+            best = min(best, elapsed)
+        results[name] = {
+            "events": count,
+            "best_seconds": round(best, 6),
+            "events_per_second": round(count / best, 1),
+        }
+    return {
+        "schema": "repro-bench-kernel/1",
+        "label": label,
+        "rounds": rounds,
+        "environment": _environment(),
+        "benchmarks": results,
+    }
+
+
+def measure_figures(
+    figures: Optional[List[str]] = None,
+    profile: str = "quick",
+    jobs: int = 0,
+    seed: int = 42,
+    label: str = "",
+) -> Dict:
+    """Wall-clock of figure regeneration, serial vs ``jobs`` workers.
+
+    Runs the same figure set twice with fresh :class:`FigureRunner`
+    instances (so the sweep cache cannot leak between the two timings)
+    and reports the speedup.  ``jobs=0`` means one worker per CPU.
+    """
+    from .figures import PAPER_FIGURES, FigureRunner
+    from .runner import resolve_jobs
+    from .scenarios import PROFILES
+
+    names = list(figures or PAPER_FIGURES)
+    prof = PROFILES[profile]
+    effective_jobs = resolve_jobs(jobs if jobs else 0)
+
+    def regen(n_jobs: Optional[int]) -> float:
+        runner = FigureRunner(profile=prof, seed=seed, jobs=n_jobs)
+        t0 = time.perf_counter()
+        runner.run_figures(names)
+        return time.perf_counter() - t0
+
+    serial_s = regen(None)
+    parallel_s = regen(effective_jobs)
+    return {
+        "schema": "repro-bench-figures/1",
+        "label": label,
+        "profile": profile,
+        "figures": names,
+        "seed": seed,
+        "jobs": effective_jobs,
+        "environment": _environment(),
+        "serial_seconds": round(serial_s, 3),
+        "parallel_seconds": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+    }
+
+
+def write_json(payload: Dict, path: str) -> str:
+    """Write one artifact, creating parent directories; returns ``path``."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return path
+
+
+def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover
+    """CLI shim used by ``benchmarks/bench_perf_trajectory.py``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--kernel-out", default="BENCH_kernel.json")
+    parser.add_argument("--figures-out", default="BENCH_figures.json")
+    parser.add_argument("--label", default="")
+    parser.add_argument("--profile", default="quick")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="workers for the parallel timing (0 = n_cpus)")
+    parser.add_argument("--figures", default="",
+                        help="comma-separated figure method names "
+                             "(default: all ten)")
+    parser.add_argument("--skip-figures", action="store_true",
+                        help="only run the kernel micro-benchmarks")
+    args = parser.parse_args(argv)
+
+    kernel = measure_kernel(label=args.label)
+    write_json(kernel, args.kernel_out)
+    for name, row in kernel["benchmarks"].items():
+        print(f"[kernel] {name:>20s}: {row['events_per_second']:>12,.0f} ev/s")
+    print(f"wrote {args.kernel_out}")
+
+    if not args.skip_figures:
+        figures = [f for f in args.figures.split(",") if f] or None
+        report = measure_figures(
+            figures=figures, profile=args.profile,
+            jobs=args.jobs, label=args.label,
+        )
+        print(f"[figures] serial   {report['serial_seconds']:8.2f} s")
+        print(f"[figures] jobs={report['jobs']:<3d} {report['parallel_seconds']:8.2f} s")
+        print(f"[figures] speedup  {report['speedup']:8.2f}x")
+        write_json(report, args.figures_out)
+        print(f"wrote {args.figures_out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,110 @@
+"""Parallel execution of sweep points over a process pool.
+
+A client-count sweep is embarrassingly parallel: every point is a fully
+self-contained :class:`~repro.core.experiment.Experiment` (own simulator,
+own seeded RNG streams, own metrics), so points can run in worker
+processes with no shared state.  This module provides the picklable
+point-spec plus the fan-out machinery that :func:`repro.core.sweep
+.sweep_clients` and :class:`~repro.core.figures.FigureRunner` build on.
+
+Determinism contract
+--------------------
+Parallel output is *byte-identical* to serial output: each point is keyed
+by its own ``(server, workload, machine, network, seed)`` spec, results
+are collected in submission order, and ``point_hook`` fires in point
+order regardless of completion order.  ``tests/test_parallel_runner.py``
+asserts this for multiple architectures and scenarios.
+
+Worker processes never mutate parent state; in particular a
+:class:`~repro.overload.OverloadControl` mounted on a ``ServerSpec`` is
+pickled per point, so each worker resets and consumes its own copy —
+exactly what the serial path's per-run ``reset()`` guarantees.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..metrics.report import RunMetrics
+from ..net.topology import NetworkSpec
+from ..osmodel.machine import MachineSpec
+from .experiment import Experiment
+from .params import ServerSpec, WorkloadSpec
+
+__all__ = ["PointSpec", "run_point", "run_points", "resolve_jobs"]
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One sweep point, picklable for process-pool transport."""
+
+    server: ServerSpec
+    workload: WorkloadSpec
+    machine: MachineSpec
+    network: NetworkSpec
+    seed: int = 42
+
+    def experiment(self) -> Experiment:
+        """The fully-specified experiment for this point."""
+        return Experiment(
+            server=self.server,
+            workload=self.workload,
+            machine=self.machine,
+            network=self.network,
+            seed=self.seed,
+        )
+
+
+def run_point(spec: PointSpec) -> RunMetrics:
+    """Execute one sweep point (module-level so pools can pickle it)."""
+    return spec.experiment().run()
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker-count policy: explicit > ``REPRO_JOBS`` env > 1 (serial).
+
+    ``0`` (from either source) means "one worker per CPU".
+    """
+    if jobs is None:
+        try:
+            jobs = int(os.environ.get("REPRO_JOBS", "1"))
+        except ValueError:
+            jobs = 1
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def run_points(
+    specs: Sequence[PointSpec],
+    jobs: Optional[int] = None,
+    point_hook: Optional[Callable[[RunMetrics], None]] = None,
+) -> List[RunMetrics]:
+    """Run every point; return metrics in point order.
+
+    ``jobs <= 1`` (the default) runs serially in-process.  With more
+    jobs, points fan out over a :class:`~concurrent.futures
+    .ProcessPoolExecutor`; results (and ``point_hook`` invocations) still
+    arrive in point order, so callers cannot observe the difference
+    except in wall-clock.
+    """
+    jobs = resolve_jobs(jobs)
+    results: List[RunMetrics] = []
+    if jobs <= 1 or len(specs) <= 1:
+        for spec in specs:
+            metrics = run_point(spec)
+            results.append(metrics)
+            if point_hook is not None:
+                point_hook(metrics)
+        return results
+    with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
+        futures = [pool.submit(run_point, spec) for spec in specs]
+        for future in futures:  # submission order == point order
+            metrics = future.result()
+            results.append(metrics)
+            if point_hook is not None:
+                point_hook(metrics)
+    return results

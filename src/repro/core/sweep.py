@@ -6,8 +6,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..metrics.report import RunMetrics, format_table
-from .experiment import Experiment
 from .params import ServerSpec, WorkloadSpec
+from .runner import PointSpec, run_points
 from .scenarios import Scenario
 
 __all__ = ["SweepResult", "sweep_clients"]
@@ -71,29 +71,36 @@ def sweep_clients(
     seed: int = 42,
     workload_overrides: Optional[Dict] = None,
     point_hook: Optional[Callable[[RunMetrics], None]] = None,
+    jobs: Optional[int] = None,
 ) -> SweepResult:
     """Run ``server`` in ``scenario`` at each client count.
 
     ``workload_overrides`` is forwarded into :class:`WorkloadSpec` (e.g.
     a custom ``surge`` config for ablations).  ``point_hook`` is invoked
-    after each point — handy for progress output in long sweeps.
+    after each point — handy for progress output in long sweeps; it fires
+    in point order even when points run in parallel.
+
+    ``jobs`` fans the points out over a process pool (``None``/1 =
+    serial, 0 = one worker per CPU; see :func:`repro.core.runner
+    .resolve_jobs`).  Parallel results are byte-identical to serial ones:
+    every point is a self-contained seeded experiment.
     """
-    result = SweepResult(label=server.label, scenario=scenario.name)
-    for clients in client_counts:
-        workload = WorkloadSpec(
-            clients=clients,
-            duration=duration,
-            warmup=warmup,
-            **(workload_overrides or {}),
-        )
-        metrics = Experiment(
+    specs = [
+        PointSpec(
             server=server,
-            workload=workload,
+            workload=WorkloadSpec(
+                clients=clients,
+                duration=duration,
+                warmup=warmup,
+                **(workload_overrides or {}),
+            ),
             machine=scenario.machine,
             network=scenario.network,
             seed=seed,
-        ).run()
-        result.points.append(metrics)
-        if point_hook is not None:
-            point_hook(metrics)
-    return result
+        )
+        for clients in client_counts
+    ]
+    points = run_points(specs, jobs=jobs, point_hook=point_hook)
+    return SweepResult(
+        label=server.label, scenario=scenario.name, points=points
+    )

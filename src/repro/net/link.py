@@ -66,6 +66,25 @@ class Link:
         self.transmissions += 1
         return self.sim.timeout(done + self.latency - now)
 
+    def transmit_call(self, nbytes: int, fn, *args) -> None:
+        """Send ``nbytes`` and run ``fn(*args)`` when the last byte arrives.
+
+        Same fluid model as :meth:`transmit`, but scheduled through the
+        kernel's bare-callback fast path — no :class:`Event` is allocated.
+        Use this when the delivery only needs to trigger a callback (the
+        per-segment hot path of the TCP layer); use :meth:`transmit` when
+        the caller needs an event to yield on or compose.
+        """
+        if nbytes <= 0:
+            raise SimulationError(f"cannot transmit {nbytes} bytes")
+        now = self.sim.now
+        start = now if now > self._busy_until else self._busy_until
+        done = start + nbytes / self.bandwidth
+        self._busy_until = done
+        self.bytes_sent += nbytes
+        self.transmissions += 1
+        self.sim.call_later(done + self.latency - now, fn, *args)
+
     def queue_delay(self) -> float:
         """Seconds a transmission issued now would wait before starting."""
         return max(0.0, self._busy_until - self.sim.now)

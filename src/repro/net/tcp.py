@@ -252,8 +252,7 @@ class Connection:
             return
         self.client_closed = True
         if self.established:
-            ev = self.duplex.up.transmit(FIN_BYTES)
-            ev.callbacks.append(lambda _e: self._fin_arrived())
+            self.duplex.up.transmit_call(FIN_BYTES, self._fin_arrived)
 
     # ------------------------------------------------------------------
     # handshake plumbing
@@ -261,22 +260,21 @@ class Connection:
     def _send_syn(self) -> None:
         if self._syn_accepted or self.client_closed:
             return
-        ev = self.duplex.up.transmit(HANDSHAKE_BYTES)
-        ev.callbacks.append(lambda _e: self._syn_arrived())
+        self.duplex.up.transmit_call(HANDSHAKE_BYTES, self._syn_arrived)
 
     def _syn_arrived(self) -> None:
         if self._syn_accepted or self.client_closed:
             return
         if self.listener.offer(self):
             self._syn_accepted = True
-            ev = self.duplex.down.transmit(HANDSHAKE_BYTES)
-            ev.callbacks.append(lambda _e: self._synack_arrived())
+            self.duplex.down.transmit_call(
+                HANDSHAKE_BYTES, self._synack_arrived
+            )
 
     def _synack_arrived(self) -> None:
         if self.client_closed:
             # Client aborted while the SYN-ACK was in flight: answer RST.
-            ev = self.duplex.up.transmit(RST_BYTES)
-            ev.callbacks.append(lambda _e: self._rst_arrived())
+            self.duplex.up.transmit_call(RST_BYTES, self._rst_arrived)
             return
         self.established = True
         self._established_ev.succeed()
@@ -357,8 +355,9 @@ class Connection:
         if not self.can_send(nbytes):
             raise SimulationError("send buffer overflow; call can_send first")
         self.in_flight += nbytes
-        ev = self.duplex.down.transmit(nbytes)
-        ev.callbacks.append(lambda _e: self._on_chunk_delivered(nbytes, last))
+        self.duplex.down.transmit_call(
+            nbytes, self._on_chunk_delivered, nbytes, last
+        )
 
     def server_close(self) -> None:
         """Close the server end (idle reap, error, or end of connection)."""

@@ -9,20 +9,44 @@ yielding an event and is resumed with the event's value once it triggers.
 
 Design notes
 ------------
-* Events carry ``__slots__`` and the hot path (``step``) avoids attribute
-  lookups where it matters; the kernel comfortably processes hundreds of
-  thousands of events per second, which is what the full figure-regeneration
-  sweeps in :mod:`repro.core.figures` need.
+* Events carry ``__slots__`` and the hot path avoids attribute lookups
+  where it matters; the kernel comfortably processes around a million
+  events per second, which is what the full figure-regeneration sweeps in
+  :mod:`repro.core.figures` need (~10^7 events per sweep point at the top
+  client counts).
+* Fast paths (see DESIGN.md "Kernel fast-path invariants"):
+
+  - :meth:`Simulator.call_later` schedules a pooled bare-callback heap
+    entry instead of a :class:`Timeout` + lambda + callbacks list; the
+    entry is recycled through a free list after it fires.
+  - :meth:`Simulator.timeout` recycles :class:`Timeout` objects through a
+    free list.  A timeout is recycled only when, at processing time, its
+    sole callback is the :meth:`Process._resume` that was appended when a
+    process yielded it — i.e. the single-use ``yield sim.timeout(d)``
+    pattern.  Timeouts with user callbacks, condition memberships, or
+    multiple waiters are never recycled.  Corollary: a timeout a process
+    has *yielded* must not be stored and re-inspected after a later
+    resume — create an :class:`Event` or keep a condition for that.
+  - ``run()`` inlines the dispatch loop; :meth:`Simulator.step` is the
+    single-event reference implementation of the same logic.
+
+  None of the fast paths changes scheduling order: every former push maps
+  one-to-one onto a push with the same sequence number, so tie-breaking
+  (and therefore determinism for a fixed seed) is unchanged.
 * Failures propagate: an event that fails with no registered callbacks and
   that nobody *defused* re-raises inside :meth:`Simulator.step`, so model
   bugs surface in tests instead of being silently dropped.
 * Determinism: ties in time are broken by a monotonically increasing
   sequence number, so runs are exactly reproducible for a fixed seed.
+* Interruption is *lazy*: :meth:`Process.interrupt` does not scan the old
+  target's callback list (which could hold thousands of waiters); it just
+  retargets the process and the stale callback is ignored when the old
+  event eventually fires.  This makes interrupt O(1) instead of O(n).
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -45,6 +69,27 @@ class SimulationError(RuntimeError):
 #: Sentinel marking an event that has not triggered yet.
 _PENDING = object()
 
+#: Cap on the per-simulator free lists (steady-state working sets are
+#: tiny; the cap only bounds pathological churn).
+_POOL_MAX = 1024
+
+
+class _Callback:
+    """Internal heap entry: a bare scheduled callback.
+
+    Scheduled by :meth:`Simulator.call_later`; carries no Event
+    bookkeeping (no callbacks list, no value, no failure state) and is
+    recycled through ``Simulator._cbpool`` after it fires.  The dispatch
+    loop recognises it by ``callbacks is None``, which can never be true
+    of a heap-resident :class:`Event` (events enter the heap only when
+    triggered and leave it processed).
+    """
+
+    __slots__ = ("fn", "args")
+
+    #: Read by the dispatch loop; distinguishes us from Event entries.
+    callbacks = None
+
 
 class Event:
     """A one-shot occurrence at a point in simulated time.
@@ -55,7 +100,7 @@ class Event:
     is invoked with the event as its sole argument.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused", "_pooled")
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
@@ -64,6 +109,7 @@ class Event:
         self._value: Any = _PENDING
         self._ok = True
         self._defused = False
+        self._pooled = False
 
     # -- inspection ------------------------------------------------------
     @property
@@ -97,7 +143,9 @@ class Event:
             raise SimulationError(f"{self!r} already triggered")
         self._value = value
         self._ok = True
-        self.sim._push(self)
+        sim = self.sim
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._heap, (sim._now, seq, self))
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -113,7 +161,9 @@ class Event:
             raise SimulationError(f"{self!r} already triggered")
         self._value = exc
         self._ok = False
-        self.sim._push(self)
+        sim = self.sim
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._heap, (sim._now, seq, self))
         return self
 
     def defuse(self) -> None:
@@ -137,10 +187,17 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        super().__init__(sim)
+        # Flattened Event.__init__ + Simulator._push: a Timeout is born
+        # triggered, and this constructor is the hottest allocation site
+        # in the kernel.
+        self.sim = sim
+        self.callbacks = []
         self._value = value
         self._ok = True
-        sim._push(self, delay)
+        self._defused = False
+        self._pooled = False
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._heap, (sim._now + delay, seq, self))
 
 
 class Interrupted(Exception):
@@ -149,6 +206,23 @@ class Interrupted(Exception):
     def __init__(self, cause: Any = None) -> None:
         super().__init__(cause)
         self.cause = cause
+
+
+class _Boot:
+    """Pseudo-event that bootstraps a process generator.
+
+    Only ``_ok``/``_value`` are ever read (by :meth:`Process._resume` on
+    the success path), so one immutable module-level instance serves every
+    process — no per-process bootstrap Event allocation.
+    """
+
+    __slots__ = ()
+
+    _ok = True
+    _value = None
+
+
+_BOOT = _Boot()
 
 
 class Process(Event):
@@ -172,14 +246,12 @@ class Process(Event):
             raise SimulationError(f"process requires a generator, got {gen!r}")
         super().__init__(sim)
         self._gen = gen
-        self._target: Optional[Event] = None
         self.name = name or getattr(gen, "__name__", "process")
-        # Bootstrap: resume the generator at the current time.
-        boot = Event(sim)
-        boot._value = None
-        boot._ok = True
-        boot.callbacks.append(self._resume)
-        sim._push(boot)
+        # Bootstrap: resume the generator at the current time.  _target
+        # must point at the boot entry so the stale-wakeup check in
+        # _resume lets it through.
+        self._target: Any = _BOOT
+        sim.call_later(0.0, self._resume, _BOOT)
 
     @property
     def is_alive(self) -> bool:
@@ -189,18 +261,14 @@ class Process(Event):
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupted` into the process at the current time.
 
-        The event the process currently waits on is detached (the process
-        will not be resumed by it); the process itself decides how to
+        The event the process currently waits on is abandoned *lazily*:
+        its callback list is left untouched (removing from it would be
+        O(waiters)) and :meth:`_resume` discards the stale wakeup when the
+        old event eventually fires.  The process itself decides how to
         recover inside an ``except Interrupted`` block.
         """
         if self._value is not _PENDING:
             raise SimulationError("cannot interrupt a terminated process")
-        target = self._target
-        if target is not None and target.callbacks is not None:
-            try:
-                target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
         poke = Event(self.sim)
         poke._value = Interrupted(cause)
         poke._ok = False
@@ -211,6 +279,10 @@ class Process(Event):
 
     # -- internal --------------------------------------------------------
     def _resume(self, event: Event) -> None:
+        if event is not self._target:
+            # Stale wakeup: interrupt() switched targets while this event
+            # was still pending (lazy cancellation tombstone).
+            return
         self._target = None
         try:
             if event._ok:
@@ -235,8 +307,13 @@ class Process(Event):
             self._gen.close()
             self.fail(SimulationError("yielded event from another simulator"))
             return
-        if nxt.callbacks is not None:
-            nxt.callbacks.append(self._resume)
+        callbacks = nxt.callbacks
+        if callbacks is not None:
+            if not callbacks and type(nxt) is Timeout:
+                # Sole waiter of a plain timeout: recyclable after it
+                # fires (the dispatch loop re-checks the waiter count).
+                nxt._pooled = True
+            callbacks.append(self._resume)
             self._target = nxt
         else:
             # Already processed: relay its outcome on the next step.
@@ -324,14 +401,21 @@ class AllOf(Condition):
 
 
 class Simulator:
-    """The event loop: a clock plus a heap of (time, seq, event) entries."""
+    """The event loop: a clock plus a heap of (time, seq, entry) tuples.
 
-    __slots__ = ("_now", "_heap", "_seq")
+    Entries are triggered :class:`Event` objects or internal
+    :class:`_Callback` fast-path entries (see :meth:`call_later`).
+    """
+
+    __slots__ = ("_now", "_heap", "_seq", "_tpool", "_cbpool")
 
     def __init__(self) -> None:
         self._now = 0.0
         self._heap: list = []
         self._seq = 0
+        #: Free lists: recycled Timeouts / bare-callback entries.
+        self._tpool: list = []
+        self._cbpool: list = []
 
     # -- clock -----------------------------------------------------------
     @property
@@ -349,7 +433,24 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """An event triggering ``delay`` from now."""
+        """An event triggering ``delay`` from now.
+
+        Recycles processed single-waiter timeouts from the free list (see
+        the module docstring for the exact recycling rule).
+        """
+        pool = self._tpool
+        if pool:
+            if delay < 0:
+                raise SimulationError(f"negative delay {delay!r}")
+            ev = pool.pop()
+            ev.callbacks = []
+            ev._value = value
+            ev._ok = True
+            ev._defused = False
+            ev._pooled = False
+            self._seq = seq = self._seq + 1
+            heappush(self._heap, (self._now + delay, seq, ev))
+            return ev
         return Timeout(self, delay, value)
 
     def process(
@@ -366,28 +467,65 @@ class Simulator:
         """Condition triggering when every child succeeds."""
         return AllOf(self, events)
 
-    def call_later(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
-        """Run ``fn(*args)`` as a callback ``delay`` from now."""
-        ev = Timeout(self, delay)
-        ev.callbacks.append(lambda _ev: fn(*args))
-        return ev
+    def call_later(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Run ``fn(*args)`` as a bare callback ``delay`` from now.
+
+        This is the kernel's cheapest way to schedule work: no
+        :class:`Event` is allocated (no callbacks list, no value/failure
+        bookkeeping) and the internal heap entry is recycled after it
+        fires.  Use :meth:`timeout` plus ``callbacks.append`` when the
+        caller needs an event handle to wait on or compose.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        pool = self._cbpool
+        if pool:
+            cb = pool.pop()
+        else:
+            cb = _Callback()
+        cb.fn = fn
+        cb.args = args
+        self._seq = seq = self._seq + 1
+        heappush(self._heap, (self._now + delay, seq, cb))
 
     # -- scheduling --------------------------------------------------------
     def _push(self, event: Event, delay: float = 0.0) -> None:
-        self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        self._seq = seq = self._seq + 1
+        heappush(self._heap, (self._now + delay, seq, event))
 
     def step(self) -> None:
-        """Process exactly one event."""
-        when, _seq, event = heapq.heappop(self._heap)
+        """Process exactly one event.
+
+        Reference implementation of the dispatch logic that ``run()``
+        inlines; behavioural changes must be mirrored there.
+        """
+        when, _seq, event = heappop(self._heap)
         self._now = when
         callbacks = event.callbacks
+        if callbacks is None:
+            # Bare-callback fast-path entry: recycle it before invoking
+            # (fn/args are captured locally) so the callback itself can
+            # reuse the slot when it schedules follow-up work.
+            fn = event.fn
+            args = event.args
+            if len(self._cbpool) < _POOL_MAX:
+                event.fn = event.args = None
+                self._cbpool.append(event)
+            fn(*args)
+            return
         event.callbacks = None
         for cb in callbacks:
             cb(event)
         if not event._ok and not event._defused:
-            exc = event._value
-            raise exc
+            raise event._value
+        if (
+            event._pooled
+            and len(callbacks) == 1
+            and len(self._tpool) < _POOL_MAX
+        ):
+            # Single-use awaited timeout: nothing can reference it any
+            # more (its sole waiter has moved on), so recycle it.
+            self._tpool.append(event)
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the heap drains or the clock reaches ``until``.
@@ -396,20 +534,50 @@ class Simulator:
         even if no event falls on it, so back-to-back ``run`` calls compose.
         """
         if until is None:
-            while self._heap:
-                self.step()
-            return
-        if until < self._now:
+            bound = float("inf")
+        elif until < self._now:
             raise SimulationError(f"cannot run backwards to {until!r}")
-        while self._heap and self._heap[0][0] <= until:
-            self.step()
-        self._now = until
+        else:
+            bound = until
+        # Inlined step(): this loop dispatches ~10^7 events per sweep
+        # point, so locals replace attribute lookups and the per-event
+        # method call.  Keep in sync with step() above.
+        heap = self._heap
+        tpool = self._tpool
+        cbpool = self._cbpool
+        pop = heappop
+        while heap and heap[0][0] <= bound:
+            when, _seq, event = pop(heap)
+            self._now = when
+            callbacks = event.callbacks
+            if callbacks is None:
+                fn = event.fn
+                args = event.args
+                if len(cbpool) < _POOL_MAX:
+                    event.fn = event.args = None
+                    cbpool.append(event)
+                fn(*args)
+                continue
+            event.callbacks = None
+            for cb in callbacks:
+                cb(event)
+            if not event._ok and not event._defused:
+                raise event._value
+            if (
+                event._pooled
+                and len(callbacks) == 1
+                and len(tpool) < _POOL_MAX
+            ):
+                tpool.append(event)
+        if until is not None:
+            self._now = until
 
     def run_process(self, proc: Process) -> Any:
         """Run until ``proc`` finishes; return its value or raise its error."""
-        while self._heap and not proc.triggered:
+        heap = self._heap
+        while heap and proc._value is _PENDING:
             self.step()
-        if not proc.triggered:
+        if proc._value is _PENDING:
             raise SimulationError(
                 f"simulation ran out of events before {proc.name!r} finished"
             )

@@ -88,8 +88,20 @@ class SessionPlan:
         return sum(len(g) for g in self.groups)
 
 
+#: Memoized workloads keyed by (population identity, config): the
+#: distribution objects are immutable and sampling is driven entirely by
+#: the caller's RNG, so one instance serves every point of a sweep.
+_WORKLOAD_CACHE: dict = {}
+_WORKLOAD_CACHE_MAX = 64
+
+
 class SurgeWorkload:
-    """Samples sessions against a :class:`FilePopulation`."""
+    """Samples sessions against a :class:`FilePopulation`.
+
+    Instances hold no sampling state of their own — every draw comes from
+    the ``rng`` handed to :meth:`sample_session` — so one workload can be
+    shared across experiments (see :meth:`shared`).
+    """
 
     def __init__(
         self,
@@ -101,6 +113,36 @@ class SurgeWorkload:
         self._think = self.config.think_distribution()
         self._groups = self.config.groups_distribution()
         self._embedded = self.config.embedded_distribution()
+
+    @classmethod
+    def shared(
+        cls,
+        files: FilePopulation,
+        config: Optional[SurgeConfig] = None,
+    ) -> "SurgeWorkload":
+        """Memoized workload for ``(files, config)``.
+
+        Pairs with :meth:`FilePopulation.shared`: when the population is
+        the process-wide cached instance, the workload (and its
+        precomputed distribution objects) is reused too instead of being
+        rebuilt at every sweep point.  Honours ``REPRO_NO_WORKLOAD_CACHE``.
+        """
+        from ..http.files import _cache_enabled
+
+        config = config or SurgeConfig()
+        if not _cache_enabled():
+            return cls(files, config)
+        key = (id(files), config)
+        cached = _WORKLOAD_CACHE.get(key)
+        # Guard against id() reuse after the population was collected:
+        # the cached entry must reference the *same* population object.
+        if cached is not None and cached.files is files:
+            return cached
+        workload = cls(files, config)
+        if len(_WORKLOAD_CACHE) >= _WORKLOAD_CACHE_MAX:
+            _WORKLOAD_CACHE.pop(next(iter(_WORKLOAD_CACHE)))
+        _WORKLOAD_CACHE[key] = workload
+        return workload
 
     def sample_session(self, rng: np.random.Generator) -> SessionPlan:
         """Draw a complete session plan."""
