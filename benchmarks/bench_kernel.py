@@ -52,6 +52,39 @@ def run_link_transmissions(n):
     return done[0]
 
 
+def run_idle_timeout_storm(n, wheel=True):
+    """httpd-4096 idle-timeout storm (mirrors repro.core.perf).
+
+    4096 standing 15 s idle-reap deadlines; every batch of arrivals
+    pushes its connections' deadlines back out via ``Timer.rearm``.  The
+    cancel-heavy path the timing wheel exists for — ``wheel=False``
+    measures the heap-only baseline (tombstone + compaction).
+    """
+    sim = Simulator(wheel=wheel)
+    conns, batch, interval, idle = 4096, 128, 0.25, 15.0
+    reaped = [0]
+
+    def reap(i):
+        reaped[0] += 1
+
+    timers = [sim.schedule_timer(idle, reap, i) for i in range(conns)]
+    state = [0, 0]
+
+    def driver():
+        pos, done = state
+        take = batch if batch <= n - done else n - done
+        for k in range(pos, pos + take):
+            timers[k % conns].rearm(idle)
+        state[0] = (pos + take) % conns
+        state[1] = done + take
+        if state[1] < n:
+            sim.call_later(interval, driver)
+
+    sim.call_later(interval, driver)
+    sim.run(until=interval * ((n + batch - 1) // batch + 1))
+    return state[1]
+
+
 def test_kernel_event_dispatch(benchmark):
     n = 20_000
     result = benchmark(run_timeout_chain, n)
@@ -67,4 +100,10 @@ def test_cpu_processor_sharing_station(benchmark):
 def test_link_fluid_transmissions(benchmark):
     n = 20_000
     result = benchmark(run_link_transmissions, n)
+    assert result == n
+
+
+def test_kernel_idle_timeout_storm(benchmark):
+    n = 60_000
+    result = benchmark(run_idle_timeout_storm, n)
     assert result == n

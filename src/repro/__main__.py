@@ -96,6 +96,26 @@ def _add_jobs(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _run_profiled(fn):
+    """Run ``fn`` under cProfile; print the top 20 by cumulative time.
+
+    The profile prints even when ``fn`` raises, so a run that dies deep
+    in the kernel still shows where the time went.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return fn()
+    finally:
+        profiler.disable()
+        print("\n-- cProfile: top 20 by cumulative time ---------------------")
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(20)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     scenario = _scenario(args)
     experiment = Experiment(
@@ -108,7 +128,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         trace=("conn", "http", "error", "server") if args.trace else None,
     )
-    metrics = experiment.run()
+    if args.profile:
+        metrics = _run_profiled(experiment.run)
+    else:
+        metrics = experiment.run()
     for key, value in metrics.row().items():
         print(f"{key:>12s}: {value}")
     if args.stats:
@@ -247,6 +270,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     ]
     if args.skip_figures:
         argv.append("--skip-figures")
+    if args.cprofile:
+        return _run_profiled(lambda: perf.main(argv))
     return perf.main(argv)
 
 
@@ -278,6 +303,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--trace", action="store_true",
                        help="record trace events; print per-category "
                             "counts (and any ring-buffer drops)")
+    p_run.add_argument("--profile", action="store_true",
+                       help="run under cProfile and print the top 20 "
+                            "functions by cumulative time")
     p_run.set_defaults(fn=cmd_run)
 
     p_obs = sub.add_parser(
@@ -335,6 +363,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="free-form tag recorded in the artifacts")
     p_bench.add_argument("--skip-figures", action="store_true",
                          help="only run the kernel micro-benchmarks")
+    p_bench.add_argument("--cprofile", action="store_true",
+                         help="run under cProfile and print the top 20 "
+                              "functions by cumulative time (--profile "
+                              "already names the measurement profile "
+                              "here, hence the different spelling)")
     _add_jobs(p_bench)
     p_bench.set_defaults(fn=cmd_bench)
 

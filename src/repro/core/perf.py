@@ -28,13 +28,19 @@ from typing import Dict, List, Optional
 __all__ = [
     "KERNEL_BENCHES",
     "measure_kernel",
+    "measure_wheel_equivalence",
     "measure_figures",
     "write_json",
 ]
 
 #: (name, runner, default event count).  Runners return the number of
 #: events they dispatched so events/sec = n / elapsed.
-KERNEL_BENCHES = ("timeout_chain", "cpu_bursts", "link_transmissions")
+KERNEL_BENCHES = (
+    "timeout_chain",
+    "cpu_bursts",
+    "link_transmissions",
+    "idle_timeout_storm",
+)
 
 
 def _environment() -> Dict:
@@ -96,6 +102,41 @@ def _kernel_runner(name: str):
             return done[0]
 
         return run
+    if name == "idle_timeout_storm":
+        # The cancel-heavy benchmark: httpd's 4096-connection pool, each
+        # connection holding a 15 s idle-reap deadline that every batch
+        # of arrivals pushes back out (Timer.rearm).  In wheel mode each
+        # re-arm is an O(1) node relocation; the heap-only baseline pays
+        # a tombstone + heappush + amortised compaction per re-arm.
+        def run(n: int, wheel: bool = True) -> int:
+            sim = Simulator(wheel=wheel)
+            conns, batch, interval, idle = 4096, 128, 0.25, 15.0
+            reaped = [0]
+
+            def reap(i: int) -> None:
+                reaped[0] += 1
+
+            timers = [sim.schedule_timer(idle, reap, i) for i in range(conns)]
+            state = [0, 0]  # rotation position, re-arms performed
+
+            def driver() -> None:
+                pos, done = state
+                take = batch if batch <= n - done else n - done
+                for k in range(pos, pos + take):
+                    timers[k % conns].rearm(idle)
+                state[0] = (pos + take) % conns
+                state[1] = done + take
+                if state[1] < n:
+                    sim.call_later(interval, driver)
+
+            sim.call_later(interval, driver)
+            # Stop after the last batch: the measured region is the storm
+            # itself, not the final drain of 4096 reaps (identical in
+            # both modes).
+            sim.run(until=interval * ((n + batch - 1) // batch + 1))
+            return state[1]
+
+        return run
     raise ValueError(f"unknown kernel benchmark {name!r}")
 
 
@@ -110,32 +151,125 @@ def measure_kernel(
     only ever makes a round *slower*, so the fastest round is the
     closest estimate of the true cost.
     """
-    results: Dict[str, Dict] = {}
-    for name in KERNEL_BENCHES:
-        run = _kernel_runner(name)
-        count = n if name != "cpu_bursts" else max(1, n // 2)
-        run(count)  # warm caches/allocator before timing
+    def best_of(run, count: int, **kwargs) -> float:
+        run(count, **kwargs)  # warm caches/allocator before timing
         best = float("inf")
         for _ in range(rounds):
             t0 = time.perf_counter()
-            dispatched = run(count)
+            dispatched = run(count, **kwargs)
             elapsed = time.perf_counter() - t0
             if dispatched != count:
                 raise RuntimeError(
-                    f"{name}: dispatched {dispatched}, expected {count}"
+                    f"dispatched {dispatched}, expected {count}"
                 )
             best = min(best, elapsed)
-        results[name] = {
+        return best
+
+    results: Dict[str, Dict] = {}
+    for name in KERNEL_BENCHES:
+        run = _kernel_runner(name)
+        if name == "cpu_bursts":
+            count = max(1, n // 2)
+        elif name == "idle_timeout_storm":
+            # The storm arms 4096 standing timers before the re-arm
+            # churn starts; it needs a longer run to amortise that setup
+            # into the per-op rate.
+            count = n * 3
+        else:
+            count = n
+        best = best_of(run, count)
+        results[name] = row = {
             "events": count,
             "best_seconds": round(best, 6),
             "events_per_second": round(count / best, 1),
         }
+        if name == "idle_timeout_storm":
+            # The storm is the wheel's acceptance benchmark: measure the
+            # identical workload again on the heap-only kernel
+            # (tombstone + compaction cancellation) and report the
+            # speedup the timing wheel buys.
+            heap_best = best_of(run, count, wheel=False)
+            row["heap_baseline_events_per_second"] = round(
+                count / heap_best, 1
+            )
+            row["wheel_speedup"] = round(heap_best / best, 3)
     return {
         "schema": "repro-bench-kernel/1",
         "label": label,
         "rounds": rounds,
         "environment": _environment(),
         "benchmarks": results,
+    }
+
+
+def measure_wheel_equivalence(
+    clients: int = 96,
+    duration: float = 4.0,
+    warmup: float = 2.0,
+    seed: int = 42,
+) -> Dict:
+    """Prove the timing wheel changes no results, only their cost.
+
+    Runs one small experiment per server architecture twice — timing
+    wheel enabled and heap-only (``REPRO_NO_WHEEL=1``) — and compares the
+    full RunMetrics rows.  The wheel stages timers in front of the heap
+    without disturbing ``(time, seq)`` dispatch order (see DESIGN.md §9),
+    so every row must be byte-identical; this block records that proof in
+    the kernel artifact next to the speedup it licenses.
+    """
+    import hashlib
+
+    from .experiment import Experiment
+    from .params import ServerSpec, WorkloadSpec
+
+    specs = {
+        "httpd": ServerSpec.httpd(64),
+        "nio": ServerSpec.nio(1),
+        "staged": ServerSpec.staged(1),
+        "amped": ServerSpec.amped(2),
+    }
+    workload = WorkloadSpec(clients=clients, duration=duration, warmup=warmup)
+
+    def row_for(spec: "ServerSpec", no_wheel: bool) -> Dict:
+        saved = os.environ.get("REPRO_NO_WHEEL")
+        try:
+            if no_wheel:
+                os.environ["REPRO_NO_WHEEL"] = "1"
+            else:
+                os.environ.pop("REPRO_NO_WHEEL", None)
+            metrics = Experiment(
+                server=spec, workload=workload, seed=seed
+            ).run()
+            return metrics.row()
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_NO_WHEEL", None)
+            else:
+                os.environ["REPRO_NO_WHEEL"] = saved
+
+    def digest(row: Dict) -> str:
+        blob = json.dumps(row, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+    servers: Dict[str, Dict] = {}
+    all_identical = True
+    for kind, spec in specs.items():
+        wheel_row = row_for(spec, no_wheel=False)
+        heap_row = row_for(spec, no_wheel=True)
+        identical = wheel_row == heap_row
+        all_identical = all_identical and identical
+        servers[kind] = {
+            "identical": identical,
+            "row_sha256": digest(wheel_row),
+            "heap_row_sha256": digest(heap_row),
+        }
+    return {
+        "clients": clients,
+        "duration": duration,
+        "warmup": warmup,
+        "seed": seed,
+        "identical": all_identical,
+        "servers": servers,
     }
 
 
@@ -211,9 +345,25 @@ def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover
     args = parser.parse_args(argv)
 
     kernel = measure_kernel(label=args.label)
+    kernel["wheel_equivalence"] = equiv = measure_wheel_equivalence()
     write_json(kernel, args.kernel_out)
     for name, row in kernel["benchmarks"].items():
         print(f"[kernel] {name:>20s}: {row['events_per_second']:>12,.0f} ev/s")
+        if "wheel_speedup" in row:
+            print(
+                f"[kernel] {'':>20s}  heap baseline "
+                f"{row['heap_baseline_events_per_second']:>12,.0f} ev/s "
+                f"-> wheel speedup {row['wheel_speedup']:.2f}x"
+            )
+    print(
+        "[kernel] wheel equivalence: "
+        + (
+            "identical RunMetrics on "
+            + ", ".join(sorted(equiv["servers"]))
+            if equiv["identical"]
+            else "MISMATCH " + str(equiv["servers"])
+        )
+    )
     print(f"wrote {args.kernel_out}")
 
     if not args.skip_figures:

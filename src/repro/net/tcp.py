@@ -178,6 +178,9 @@ class Connection:
             pause = self.sim.timeout(max(0.0, wait_until - self.sim.now))
             yield self.sim.any_of([self._established_ev, pause])
             if self.established:
+                # The retransmit pause lost the race: unlink it from the
+                # wheel (its only callback is the settled any_of check).
+                pause.cancel()
                 self.established_at = self.sim.now
                 return self.established_at - self.connect_started
             if self.sim.now >= deadline - 1e-12:
@@ -234,11 +237,13 @@ class Connection:
             yield self.sim.any_of([pending.first_byte, pause])
             if not pending.first_byte.triggered:
                 raise ResponseTimeout("timed out waiting for reply")
+            pause.cancel()
         if not pending.complete.triggered:
             pause = self.sim.timeout(stall_timeout)
             yield self.sim.any_of([pending.complete, pause])
             if not pending.complete.triggered:
                 raise ResponseTimeout("timed out receiving reply body")
+            pause.cancel()
         return pending.complete.value
 
     def client_close(self) -> None:
@@ -325,6 +330,10 @@ class Connection:
         pause = self.sim.timeout(idle_timeout)
         yield self.sim.any_of([get, pause])
         if get.triggered:
+            # This is the paper's hottest cancel site: every request that
+            # beats the 15 s idle reap abandons its pause.  True-cancel
+            # keeps those timers off the heap entirely (O(1) unlink).
+            pause.cancel()
             return get.value
         self.inbox.cancel(get)
         return None
@@ -585,6 +594,7 @@ class ListenSocket:
                 if not get.triggered:
                     self._backlog.cancel(get)
                     return None
+                pause.cancel()
                 conn = get.value
             else:
                 conn = yield get

@@ -11,6 +11,13 @@ event-driven server), and under heavy pressure 15 s is far too generous.
 ``base`` when the host is unpressured and decays polynomially to
 ``floor`` as pressure approaches 1, so reaping aggressiveness tracks how
 badly the resources are actually needed.
+
+This class only *computes* deadlines; the timers themselves are armed at
+the consuming call sites (``server_recv`` idle pauses, the event-driven
+sweeper) and ride the kernel timing wheel, where the common case — a
+request arriving before the adaptive deadline — is an O(1) true cancel.
+Tightening the timeout under pressure therefore changes only *when*
+reaps fire, never the cost of the (far more numerous) cancels.
 """
 
 from __future__ import annotations

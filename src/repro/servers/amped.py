@@ -9,6 +9,11 @@ completions re-enter the event loop as ready events.
 Here the helper pool absorbs the ``file_lookup`` cost (the disk/VFS part
 of serving a request), letting it overlap with the loop's protocol work;
 on a multiprocessor the helpers run in parallel with the loop.
+
+Timer routing: like the other event-driven loop, AMPED holds no thread on
+an idle client and arms no reap timers of its own; its timing-wheel
+traffic is the shared TCP client-path pauses (SYN retransmit, response
+timeouts), which are true-cancelled when their race settles.
 """
 
 from __future__ import annotations

@@ -70,7 +70,15 @@ class Server:
         return min(1.0, max(mem, fill))
 
     def effective_idle_timeout(self, default: float) -> float:
-        """Idle timeout to apply right now (adaptive when mounted)."""
+        """Idle timeout to apply right now (adaptive when mounted).
+
+        The value (fixed or adaptive) flows into
+        :meth:`~repro.net.tcp.Connection.server_recv`, whose pause timer
+        rides the kernel's timing wheel: the overwhelmingly common case —
+        a request arriving before the reap deadline — cancels the timer
+        with an O(1) unlink, so idle reaping scales to thousands of
+        connections without growing the event heap.
+        """
         return self.overload.idle_timeout(default, self.pressure())
 
     # -- reporting -----------------------------------------------------------

@@ -10,9 +10,11 @@ from .core import (
     SimulationError,
     Simulator,
     Timeout,
+    Timer,
 )
 from .resources import Resource, Store, StoreFull
 from .rng import RandomStreams
+from .wheel import TimingWheel
 
 __all__ = [
     "AllOf",
@@ -24,6 +26,8 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "Timeout",
+    "Timer",
+    "TimingWheel",
     "Resource",
     "Store",
     "StoreFull",

@@ -29,6 +29,20 @@ Design notes
     resume — create an :class:`Event` or keep a condition for that.
   - ``run()`` inlines the dispatch loop; :meth:`Simulator.step` is the
     single-event reference implementation of the same logic.
+  - Timers at least one wheel tick out (0.5 s by default) are staged on a
+    hierarchical timing wheel (:mod:`repro.sim.wheel`) instead of the
+    heap: O(1) schedule and — via :meth:`Timeout.cancel`,
+    :meth:`Simulator.schedule_timer`, and the interrupt path — O(1) true
+    cancel with no tombstone.  Due wheel slots are flushed *into* the
+    heap, keys intact, before dispatch can pass them, so the wheel never
+    reorders anything.  Set ``REPRO_NO_WHEEL=1`` (or construct
+    ``Simulator(wheel=False)``) for the heap-only kernel; both modes
+    dispatch the identical event sequence.
+  - Cancelled entries that must stay heap-resident (sub-tick or
+    already-flushed timers) become tombstones; the heap is compacted in
+    place once tombstones exceed half the live entries (see
+    ``tombstones_compacted``), so cancel-heavy runs no longer grow the
+    heap without bound.
 
   None of the fast paths changes scheduling order: every former push maps
   one-to-one onto a push with the same sequence number, so tie-breaking
@@ -46,12 +60,16 @@ Design notes
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
+import os
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from .wheel import TimingWheel
 
 __all__ = [
     "Event",
     "Timeout",
+    "Timer",
     "Process",
     "Condition",
     "AnyOf",
@@ -72,6 +90,19 @@ _PENDING = object()
 #: Cap on the per-simulator free lists (steady-state working sets are
 #: tiny; the cap only bounds pathological churn).
 _POOL_MAX = 1024
+
+#: Marks a cancelled timer (Timeout._node).  Distinct from None, which
+#: means "heap-resident and live".
+_DEAD = object()
+
+
+def _noop(*_args: Any) -> None:
+    """Target swapped into a cancelled heap-resident callback entry.
+
+    The entry still pops (keeping its sequence-number slot in the
+    dispatch order) but does nothing; compaction recognises ``fn is
+    _noop`` and reclaims the entry early.
+    """
 
 
 class _Callback:
@@ -180,9 +211,17 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers ``delay`` time units after creation."""
+    """An event that triggers ``delay`` time units after creation.
 
-    __slots__ = ()
+    Short delays (below the wheel tick) go straight onto the heap; longer
+    ones are staged on the timing wheel, which makes :meth:`cancel` a
+    true O(1) unlink for the overwhelmingly common case of idle-reap /
+    retransmit / race-loser timers that never fire.  ``_node`` tracks
+    where the entry lives: ``None`` = heap, a wheel node = wheel,
+    ``_DEAD`` = cancelled.
+    """
+
+    __slots__ = ("_node",)
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
@@ -197,7 +236,150 @@ class Timeout(Event):
         self._defused = False
         self._pooled = False
         sim._seq = seq = sim._seq + 1
-        heappush(sim._heap, (sim._now + delay, seq, self))
+        when = sim._now + delay
+        if delay < sim._wheel_tick:
+            self._node = None
+            heappush(sim._heap, (when, seq, self))
+        else:
+            self._node = node = sim._wheel.schedule(when, seq, None, None, self)
+            if node is None:
+                heappush(sim._heap, (when, seq, self))
+
+    def cancel(self) -> bool:
+        """Cancel a timeout that is guaranteed not to be observed firing.
+
+        Returns True if the timeout was still pending dispatch.  Wheel
+        residents are unlinked outright (O(1), no trace left); heap
+        residents have their callback list cleared and pop later as a
+        tombstone (reclaimed early by compaction when tombstones pile
+        up).  Contract: the caller must ensure nothing would observe the
+        firing — the canonical site is the *losing* timeout of a settled
+        ``any_of`` race, whose only callback is a dead condition check.
+        """
+        node = self._node
+        if node is _DEAD:
+            return False
+        if node is not None:
+            self._node = _DEAD
+            self.sim._wheel.unlink(node)
+            return True
+        callbacks = self.callbacks
+        if callbacks is None:
+            return False  # already processed
+        callbacks.clear()
+        self._node = _DEAD
+        self.sim._note_tombstone()
+        return True
+
+
+class Timer:
+    """Cancellable handle for a bare scheduled callback.
+
+    Returned by :meth:`Simulator.schedule_timer` — the cancellable
+    sibling of :meth:`Simulator.call_later`.  The callback itself is the
+    same zero-Event fast path; the handle adds O(1) :meth:`cancel` by
+    tracking where the entry currently lives (wheel node, heap entry, or
+    already dead).  ``_run`` is the scheduled target: it marks the timer
+    dead *before* invoking the user callback so a ``cancel()`` after
+    firing can never corrupt a recycled heap entry.
+    """
+
+    __slots__ = ("sim", "fn", "args", "_node", "_entry", "_dead")
+
+    def __init__(self, sim: "Simulator", fn: Callable[..., Any], args: Any) -> None:
+        self.sim = sim
+        self.fn = fn
+        self.args = args
+        self._node = None
+        self._entry: Optional[_Callback] = None
+        self._dead = False
+
+    @property
+    def active(self) -> bool:
+        """True while the callback has neither fired nor been cancelled."""
+        return not self._dead
+
+    def cancel(self) -> bool:
+        """Cancel the pending callback; True if it had not fired yet."""
+        if self._dead:
+            return False
+        self._dead = True
+        node = self._node
+        if node is not None:
+            self._node = None
+            self.sim._wheel.unlink(node)
+            return True
+        entry = self._entry
+        if entry is not None:
+            # Heap-resident: neutralise the entry in place.  It still
+            # pops (sequence slot preserved) but runs _noop; compaction
+            # reclaims it early if tombstones accumulate.
+            self._entry = None
+            entry.fn = _noop
+            entry.args = ()
+            self.sim._note_tombstone()
+        return True
+
+    def rearm(self, delay: float, *args: Any) -> "Timer":
+        """Re-schedule this timer ``delay`` from now, superseding any
+        pending firing.
+
+        This is the one-call form of the paper's dominant timer pattern:
+        every request on a kept-alive connection pushes the idle-reap
+        deadline back out, so the timer is *moved* thousands of times for
+        every time it fires.  A wheel-resident timer relocates its node
+        in place — one unlink plus one link, no Timer, node, or heap
+        entry allocated.  Fired, cancelled, or heap-resident timers fall
+        back to cancel + fresh placement.  A new sequence number is
+        consumed either way, exactly as cancel + ``schedule_timer``
+        would, so wheel and heap-only modes stay order-identical.
+
+        ``args`` (if given) replace the callback arguments.  Returns
+        ``self`` so call sites can write ``timer = timer.rearm(d)``
+        uniformly with first-time arming.
+        """
+        sim = self.sim
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        if args:
+            self.args = args
+        sim._seq = seq = sim._seq + 1
+        when = sim._now + delay
+        node = self._node
+        if node is not None:
+            # Live and wheel-resident — the hot path.
+            if delay >= sim._wheel_tick and sim._wheel.move(node, when, seq):
+                return self
+            # move() already unlinked on failure; a sub-tick target
+            # bypasses it and unlinks here.
+            if delay < sim._wheel_tick:
+                sim._wheel.unlink(node)
+            self._node = None
+        else:
+            entry = self._entry
+            if entry is not None:
+                self._entry = None
+                entry.fn = _noop
+                entry.args = ()
+                sim._note_tombstone()
+            self._dead = False
+        if delay >= sim._wheel_tick:
+            fresh = sim._wheel.schedule(when, seq, self._run, (), self)
+            if fresh is not None:
+                self._node = fresh
+                return self
+        pool = sim._cbpool
+        cb = pool.pop() if pool else _Callback()
+        cb.fn = self._run
+        cb.args = ()
+        self._entry = cb
+        heappush(sim._heap, (when, seq, cb))
+        return self
+
+    def _run(self) -> None:
+        self._dead = True
+        self._entry = None
+        self.fn(*self.args)
 
 
 class Interrupted(Exception):
@@ -269,13 +451,38 @@ class Process(Event):
         """
         if self._value is not _PENDING:
             raise SimulationError("cannot interrupt a terminated process")
-        poke = Event(self.sim)
+        sim = self.sim
+        target = self._target
+        poke = Event(sim)
         poke._value = Interrupted(cause)
         poke._ok = False
         poke._defused = True
         poke.callbacks.append(self._resume)
-        self.sim._push(poke)
+        sim._push(poke)
         self._target = poke
+        # True-cancel the abandoned wait when it is provably private: a
+        # plain yielded timeout whose sole callback is our now-stale
+        # _resume.  (The recycling contract already forbids model code
+        # from re-inspecting a yielded timeout, so nothing can observe
+        # the difference between "fired stale" and "never fired".)
+        # Anything shared — gates, conditions, user callbacks — keeps the
+        # lazy tombstone semantics: no O(waiters) scan.
+        if (
+            type(target) is Timeout
+            and target._pooled
+            and target.callbacks is not None
+            and len(target.callbacks) == 1
+        ):
+            node = target._node
+            if node is not None and node is not _DEAD:
+                sim._wheel.unlink(node)
+                target._node = _DEAD
+                if len(sim._tpool) < _POOL_MAX:
+                    sim._tpool.append(target)
+            elif node is None:
+                target.callbacks.clear()
+                target._node = _DEAD
+                sim._note_tombstone()
 
     # -- internal --------------------------------------------------------
     def _resume(self, event: Event) -> None:
@@ -407,15 +614,40 @@ class Simulator:
     :class:`_Callback` fast-path entries (see :meth:`call_later`).
     """
 
-    __slots__ = ("_now", "_heap", "_seq", "_tpool", "_cbpool")
+    __slots__ = (
+        "_now",
+        "_heap",
+        "_seq",
+        "_tpool",
+        "_cbpool",
+        "_wheel",
+        "_wheel_tick",
+        "_tombstones",
+        "tombstones_compacted",
+    )
 
-    def __init__(self) -> None:
+    def __init__(
+        self, wheel: Optional[bool] = None, wheel_tick: float = 0.5
+    ) -> None:
         self._now = 0.0
         self._heap: list = []
         self._seq = 0
         #: Free lists: recycled Timeouts / bare-callback entries.
         self._tpool: list = []
         self._cbpool: list = []
+        # Timing wheel for cancellable long-horizon timers.  When
+        # disabled (wheel=False, or REPRO_NO_WHEEL=1 in the environment)
+        # the routing threshold becomes inf and every timer takes the
+        # heap path — the wheel object stays inert, so both modes run
+        # the same dispatch loop.
+        if wheel is None:
+            wheel = not os.environ.get("REPRO_NO_WHEEL")
+        self._wheel = TimingWheel(wheel_tick, _Callback)
+        self._wheel_tick = wheel_tick if wheel else float("inf")
+        #: Cancelled-but-heap-resident entries awaiting dispatch, and how
+        #: many times compaction reclaimed them early.
+        self._tombstones = 0
+        self.tombstones_compacted = 0
 
     # -- clock -----------------------------------------------------------
     @property
@@ -423,9 +655,34 @@ class Simulator:
         """Current simulated time (seconds by convention in this library)."""
         return self._now
 
+    @property
+    def wheel_enabled(self) -> bool:
+        """True when long-horizon timers are routed to the timing wheel."""
+        return self._wheel_tick != float("inf")
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        when = self._heap[0][0] if self._heap else float("inf")
+        if self._wheel._count:
+            wheel_when = self._wheel.earliest()
+            if wheel_when < when:
+                when = wheel_when
+        return when
+
+    def timer_stats(self) -> dict:
+        """Kernel timer counters (wheel traffic, tombstones, pool sizes)."""
+        wheel = self._wheel
+        return {
+            "wheel_enabled": self.wheel_enabled,
+            "wheel_scheduled": wheel.scheduled,
+            "wheel_cancelled": wheel.cancelled,
+            "wheel_flushed": wheel.flushed,
+            "wheel_cascaded": wheel.cascaded,
+            "wheel_pending": wheel._count,
+            "heap_pending": len(self._heap),
+            "tombstones": self._tombstones,
+            "tombstones_compacted": self.tombstones_compacted,
+        }
 
     # -- event factories ---------------------------------------------------
     def event(self) -> Event:
@@ -449,7 +706,14 @@ class Simulator:
             ev._defused = False
             ev._pooled = False
             self._seq = seq = self._seq + 1
-            heappush(self._heap, (self._now + delay, seq, ev))
+            when = self._now + delay
+            if delay < self._wheel_tick:
+                ev._node = None
+                heappush(self._heap, (when, seq, ev))
+            else:
+                ev._node = node = self._wheel.schedule(when, seq, None, None, ev)
+                if node is None:
+                    heappush(self._heap, (when, seq, ev))
             return ev
         return Timeout(self, delay, value)
 
@@ -488,10 +752,64 @@ class Simulator:
         self._seq = seq = self._seq + 1
         heappush(self._heap, (self._now + delay, seq, cb))
 
+    def schedule_timer(
+        self, delay: float, fn: Callable[..., Any], *args: Any
+    ) -> Timer:
+        """Like :meth:`call_later`, but returns a cancellable :class:`Timer`.
+
+        This is the API for the paper's dominant timer pattern — idle
+        reaps, retransmits, adaptive deadlines — where the timer is
+        re-armed or abandoned far more often than it fires.  Long delays
+        sit on the timing wheel (cancel = O(1) unlink); sub-tick delays
+        keep the plain heap path and cancel by neutralising the entry.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        timer = Timer(self, fn, args)
+        self._seq = seq = self._seq + 1
+        when = self._now + delay
+        if delay >= self._wheel_tick:
+            node = self._wheel.schedule(when, seq, timer._run, (), timer)
+            if node is not None:
+                timer._node = node
+                return timer
+        pool = self._cbpool
+        cb = pool.pop() if pool else _Callback()
+        cb.fn = timer._run
+        cb.args = ()
+        timer._entry = cb
+        heappush(self._heap, (when, seq, cb))
+        return timer
+
     # -- scheduling --------------------------------------------------------
     def _push(self, event: Event, delay: float = 0.0) -> None:
         self._seq = seq = self._seq + 1
         heappush(self._heap, (self._now + delay, seq, event))
+
+    def _note_tombstone(self) -> None:
+        """Account one cancelled heap-resident entry; compact if due.
+
+        Compaction triggers when tombstones exceed half the live entries
+        (3t > heap size  <=>  t > (heap - t) / 2) and rebuilds the heap
+        in place, so cancel-heavy runs stay O(live) instead of growing
+        without bound.  In-place matters: the inlined run() loop holds a
+        local reference to the heap list.
+        """
+        self._tombstones = count = self._tombstones + 1
+        heap = self._heap
+        if count >= 64 and count * 3 > len(heap):
+            heap[:] = [
+                entry
+                for entry in heap
+                if not (
+                    entry[2]._node is _DEAD
+                    if type(entry[2]) is Timeout
+                    else (type(entry[2]) is _Callback and entry[2].fn is _noop)
+                )
+            ]
+            heapify(heap)
+            self._tombstones = 0
+            self.tombstones_compacted += 1
 
     def step(self) -> None:
         """Process exactly one event.
@@ -499,6 +817,19 @@ class Simulator:
         Reference implementation of the dispatch logic that ``run()``
         inlines; behavioural changes must be mirrored there.
         """
+        # Flush the wheel before the heap-top could pass a due slot, so
+        # staged entries re-enter the total order in time.
+        wheel = self._wheel
+        heap = self._heap
+        while True:
+            if heap:
+                if heap[0][0] < wheel._next:
+                    break
+                wheel.advance(heap[0][0], self)
+            elif wheel._count:
+                wheel.advance(wheel._next, self)
+            else:
+                break
         when, _seq, event = heappop(self._heap)
         self._now = when
         callbacks = event.callbacks
@@ -543,10 +874,30 @@ class Simulator:
         # point, so locals replace attribute lookups and the per-event
         # method call.  Keep in sync with step() above.
         heap = self._heap
+        wheel = self._wheel
         tpool = self._tpool
         cbpool = self._cbpool
         pop = heappop
-        while heap and heap[0][0] <= bound:
+        while True:
+            if heap:
+                when = heap[0][0]
+                if when >= wheel._next:
+                    # A wheel slot starts at or before the heap top:
+                    # flush it (and any earlier ones) into the heap
+                    # first so staged entries keep their place in the
+                    # total (time, seq) order.  _next is never
+                    # stale-high, so no flush can be missed.
+                    wheel.advance(when, self)
+                    continue
+                if when > bound:
+                    break
+            elif wheel._count:
+                if wheel._next > bound:
+                    break
+                wheel.advance(wheel._next, self)
+                continue
+            else:
+                break
             when, _seq, event = pop(heap)
             self._now = when
             callbacks = event.callbacks
@@ -575,7 +926,8 @@ class Simulator:
     def run_process(self, proc: Process) -> Any:
         """Run until ``proc`` finishes; return its value or raise its error."""
         heap = self._heap
-        while heap and proc._value is _PENDING:
+        wheel = self._wheel
+        while (heap or wheel._count) and proc._value is _PENDING:
             self.step()
         if proc._value is _PENDING:
             raise SimulationError(
