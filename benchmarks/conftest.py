@@ -8,8 +8,11 @@ Profile selection: set ``REPRO_PROFILE`` to ``quick`` (default),
 ``standard`` (the paper's full 60-6000 client range) or ``full`` (long
 measurement windows).  Set ``REPRO_JOBS`` to fan sweep points out over
 that many worker processes (0 = one per CPU) — results are identical to
-a serial run.  Regenerated series are printed and also written to
-``benchmarks/results/<figure>.txt``.
+a serial run.  Set ``REPRO_STORE`` to a directory to mount the
+content-addressed run store: points already recorded there (same spec,
+same code fingerprint) are served from disk instead of re-simulated, so
+a second benchmark run over unchanged code is nearly free.  Regenerated
+series are printed and also written to ``benchmarks/results/<figure>.txt``.
 """
 
 from __future__ import annotations
@@ -20,7 +23,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.core import FigureRunner, active_profile, resolve_jobs
+from repro.core import FigureRunner, RunStore, active_profile, resolve_jobs
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -29,12 +32,17 @@ RESULTS_DIR = Path(__file__).parent / "results"
 def figure_runner() -> FigureRunner:
     profile = active_profile(default="quick")
     jobs = resolve_jobs(None)  # honours REPRO_JOBS; 1 = serial
+    store_dir = os.environ.get("REPRO_STORE")
+    store = RunStore(store_dir) if store_dir else None
     print(
         f"\n[benchmarks] measurement profile: {profile.name} "
         f"({profile.points} sweep points, duration={profile.duration}s, "
         f"warmup={profile.warmup}s, jobs={jobs})"
     )
-    return FigureRunner(profile=profile, verbose=True, jobs=jobs)
+    if store is not None:
+        print(f"[benchmarks] run store: {store.root} "
+              f"({len(store)} entries, fingerprint {store.fingerprint})")
+    return FigureRunner(profile=profile, verbose=True, jobs=jobs, store=store)
 
 
 @pytest.fixture(scope="session")

@@ -8,6 +8,7 @@ figure   regenerate one paper figure (1-10) and print its tables
 figures  regenerate every paper figure (optionally in parallel / to JSON)
 observe  run one instrumented experiment and print the span report
 bench    measure the pipeline itself: kernel events/sec + figure wall-clock
+cache    inspect or garbage-collect the content-addressed run store
 profiles list the available measurement profiles
 
 Examples
@@ -17,8 +18,12 @@ Examples
     python -m repro run --server nio --threads 1 --clients 2400
     python -m repro run --server httpd --threads 4096 --cpus 4
     python -m repro sweep --server nio --threads 2 --cpus 4 --jobs 4
+    python -m repro sweep --server nio --threads 1 --reps 3:10 --ci 0.05
     python -m repro figure 3 --profile quick
     python -m repro figures --profile quick --jobs 0 --json figures.json
+    python -m repro figures --profile standard --resume   # store-backed
+    python -m repro cache ls
+    python -m repro cache gc
     python -m repro bench --profile quick --jobs 0
     python -m repro observe --server httpd --threads 896 --network 100m \\
         --clients 6000 --spans spans.jsonl --chrome trace.json
@@ -96,6 +101,47 @@ def _add_jobs(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_store(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="content-addressed run store: cached sweep points are "
+             "reused, fresh ones persisted, interrupted runs resume. "
+             "Results are identical to a store-less run.",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="shorthand for --store with the default directory "
+             "($REPRO_STORE or .repro-store)",
+    )
+
+
+def _mounted_store(args: argparse.Namespace):
+    """The RunStore the flags ask for, or ``None``."""
+    from .core import RunStore, default_store_dir
+
+    if args.store:
+        return RunStore(args.store)
+    if args.resume:
+        return RunStore(default_store_dir())
+    return None
+
+
+def _print_cache_summary(store=None) -> None:
+    """One summary block: workload caches, and the run store if mounted."""
+    from .http import population_cache_stats
+    from .workload import workload_cache_stats
+
+    pop = population_cache_stats()
+    wl = workload_cache_stats()
+    print(
+        f"\n[caches] file population: {pop['hits']} hits, "
+        f"{pop['misses']} misses; surge workload: {wl['hits']} hits, "
+        f"{wl['misses']} misses"
+    )
+    if store is not None:
+        print(f"[caches] {store.summary()}")
+
+
 def _run_profiled(fn):
     """Run ``fn`` under cProfile; print the top 20 by cumulative time.
 
@@ -140,6 +186,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.trace and experiment.tracer is not None:
         print("\n-- trace event counts ------------------------------------")
         print(experiment.tracer.summary())
+    _print_cache_summary()
     return 0
 
 
@@ -204,16 +251,59 @@ def cmd_observe(args: argparse.Namespace) -> int:
 def cmd_sweep(args: argparse.Namespace) -> int:
     scenario = _scenario(args)
     clients = [int(c) for c in args.clients.split(",")]
-    result = sweep_clients(
-        _server_spec(args),
-        scenario,
-        clients,
-        duration=args.duration,
-        warmup=args.warmup,
-        seed=args.seed,
-        jobs=args.jobs,
-    )
-    print(result.table())
+    store = _mounted_store(args)
+    server = _server_spec(args)
+    if args.reps:
+        # Adaptive replication: every client count measured at several
+        # seeds until the CI half-width target (--ci) is met.
+        from .core import (
+            PointSpec,
+            ReplicationPolicy,
+            replicated_table,
+            run_replicated,
+        )
+
+        try:
+            lo, _, hi = args.reps.partition(":")
+            policy = ReplicationPolicy(
+                min_replicates=int(lo),
+                max_replicates=int(hi or lo),
+                rel_halfwidth=args.ci,
+            )
+        except ValueError as exc:
+            print(f"bad --reps/--ci: {exc}", file=sys.stderr)
+            return 2
+        specs = [
+            PointSpec(
+                server=server,
+                workload=WorkloadSpec(
+                    clients=c, duration=args.duration, warmup=args.warmup
+                ),
+                machine=scenario.machine,
+                network=scenario.network,
+                seed=args.seed,
+            )
+            for c in clients
+        ]
+        points = run_replicated(
+            specs, policy, jobs=args.jobs, store=store
+        )
+        print(replicated_table(
+            points, title=f"{server.label} @ {scenario.name} (adaptive)"
+        ))
+    else:
+        result = sweep_clients(
+            server,
+            scenario,
+            clients,
+            duration=args.duration,
+            warmup=args.warmup,
+            seed=args.seed,
+            jobs=args.jobs,
+            store=store,
+        )
+        print(result.table())
+    _print_cache_summary(store)
     return 0
 
 
@@ -221,8 +311,10 @@ def cmd_figure(args: argparse.Namespace) -> int:
     if not 1 <= args.number <= 10:
         print("figure number must be 1-10", file=sys.stderr)
         return 2
+    store = _mounted_store(args)
     runner = FigureRunner(
-        profile=PROFILES[args.profile], verbose=True, jobs=args.jobs
+        profile=PROFILES[args.profile], verbose=True, jobs=args.jobs,
+        store=store,
     )
     figs = getattr(runner, f"figure_{args.number}")()
     for fig in figs:
@@ -231,6 +323,7 @@ def cmd_figure(args: argparse.Namespace) -> int:
         if args.chart:
             print()
             print(fig.chart(logy=args.logy))
+    _print_cache_summary(store)
     return 0
 
 
@@ -238,8 +331,10 @@ def cmd_figures(args: argparse.Namespace) -> int:
     """Regenerate every paper figure; optionally dump them all as JSON."""
     import json
 
+    store = _mounted_store(args)
     runner = FigureRunner(
-        profile=PROFILES[args.profile], verbose=True, jobs=args.jobs
+        profile=PROFILES[args.profile], verbose=True, jobs=args.jobs,
+        store=store,
     )
     all_figs = runner.all_figures()
     for name in sorted(all_figs, key=lambda n: int(n.split("_")[1])):
@@ -254,6 +349,7 @@ def cmd_figures(args: argparse.Namespace) -> int:
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2)
         print(f"\nwrote {args.json}")
+    _print_cache_summary(store)
     return 0
 
 
@@ -268,11 +364,46 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "--profile", args.profile,
         "--jobs", str(args.jobs if args.jobs is not None else 0),
     ]
+    if args.store or args.resume:
+        from .core import default_store_dir
+
+        argv += ["--store", args.store or default_store_dir()]
     if args.skip_figures:
         argv.append("--skip-figures")
     if args.cprofile:
         return _run_profiled(lambda: perf.main(argv))
     return perf.main(argv)
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect (``ls``) or clean (``gc``) the content-addressed run store."""
+    from .core import RunStore, default_store_dir
+    from .metrics.report import format_table
+
+    store = RunStore(args.store or default_store_dir())
+    if args.action == "ls":
+        rows = store.ls()
+        if not rows:
+            print(f"{store.root}: empty store")
+            return 0
+        for row in rows:
+            row["current"] = "yes" if row["current"] else "STALE"
+        print(format_table(
+            rows,
+            title=f"{store.root} (fingerprint {store.fingerprint})",
+        ))
+        stale = sum(1 for r in rows if r["current"] == "STALE")
+        print(f"\n{len(rows)} entries, {stale} stale "
+              f"(run `repro cache gc` to drop stale entries)")
+        return 0
+    if args.action == "gc":
+        removed = store.gc(all_entries=args.all)
+        what = "entries" if args.all else "stale entries"
+        print(f"{store.root}: removed {removed} {what}, "
+              f"{len(store)} remain")
+        return 0
+    print(f"unknown cache action {args.action!r}", file=sys.stderr)
+    return 2
 
 
 def cmd_profiles(_args: argparse.Namespace) -> int:
@@ -328,7 +459,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--clients", default="60,1200,2400,3600,4800,6000",
         help="comma-separated client counts",
     )
+    p_sweep.add_argument(
+        "--reps", metavar="MIN:MAX", default=None,
+        help="adaptive replication: run each point at MIN..MAX seeds, "
+             "stopping once the CI half-width target (--ci) is met",
+    )
+    p_sweep.add_argument(
+        "--ci", type=float, default=0.05, metavar="REL",
+        help="target relative 95%% CI half-width for --reps "
+             "(default 0.05 = ±5%%)",
+    )
     _add_jobs(p_sweep)
+    _add_store(p_sweep)
     p_sweep.set_defaults(fn=cmd_sweep)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
@@ -339,6 +481,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--logy", action="store_true",
                        help="log-scale chart y-axis")
     _add_jobs(p_fig)
+    _add_store(p_fig)
     p_fig.set_defaults(fn=cmd_figure)
 
     p_figs = sub.add_parser(
@@ -349,7 +492,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_figs.add_argument("--json", metavar="FILE",
                         help="also dump every figure's data as JSON")
     _add_jobs(p_figs)
+    _add_store(p_figs)
     p_figs.set_defaults(fn=cmd_figures)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect or garbage-collect the content-addressed run store",
+    )
+    p_cache.add_argument("action", choices=("ls", "gc"))
+    p_cache.add_argument("--store", metavar="DIR", default=None,
+                         help="store directory ($REPRO_STORE or "
+                              ".repro-store)")
+    p_cache.add_argument("--all", action="store_true",
+                         help="gc: drop every entry, not just stale ones")
+    p_cache.set_defaults(fn=cmd_cache)
 
     p_bench = sub.add_parser(
         "bench",
@@ -369,6 +525,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "already names the measurement profile "
                               "here, hence the different spelling)")
     _add_jobs(p_bench)
+    _add_store(p_bench)
     p_bench.set_defaults(fn=cmd_bench)
 
     p_prof = sub.add_parser("profiles", help="list measurement profiles")

@@ -22,7 +22,15 @@ from .params import (
     ServerSpec,
     WorkloadSpec,
 )
+from .executors import PoolExecutor, SerialExecutor, executor_for
+from .replication import (
+    ReplicatedPoint,
+    ReplicationPolicy,
+    replicated_table,
+    run_replicated,
+)
 from .runner import PointSpec, resolve_jobs, run_point, run_points
+from .store import RunStore, code_fingerprint, default_store_dir, spec_digest
 from .scenarios import (
     OVERLOAD_UP,
     PROFILES,
@@ -74,4 +82,15 @@ __all__ = [
     "resolve_jobs",
     "run_point",
     "run_points",
+    "SerialExecutor",
+    "PoolExecutor",
+    "executor_for",
+    "RunStore",
+    "spec_digest",
+    "code_fingerprint",
+    "default_store_dir",
+    "ReplicationPolicy",
+    "ReplicatedPoint",
+    "run_replicated",
+    "replicated_table",
 ]

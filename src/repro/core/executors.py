@@ -1,0 +1,99 @@
+"""Pluggable point executors (the execution layer).
+
+An executor turns a sequence of picklable work items into results *in
+submission order*.  Two implementations cover the repo's needs:
+:class:`SerialExecutor` runs in-process (zero overhead, trivially
+deterministic) and :class:`PoolExecutor` fans out over a
+``concurrent.futures.ProcessPoolExecutor``.  Both present the same
+streaming-``map`` interface, so the layers above (:func:`repro.core
+.runner.run_points`, sweeps, figures) are executor-agnostic: swapping
+one for the other changes wall-clock, never results.
+
+The determinism contract is inherited from PR 5's parallel runner: every
+work item is a self-contained seeded experiment, results stream back in
+submission order, and workers never mutate parent state.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterator, Optional, Sequence, TypeVar
+
+__all__ = ["SerialExecutor", "PoolExecutor", "executor_for", "resolve_jobs"]
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker-count policy: explicit > ``REPRO_JOBS`` env > 1 (serial).
+
+    ``0`` (from either source) means "one worker per CPU".
+    """
+    if jobs is None:
+        try:
+            jobs = int(os.environ.get("REPRO_JOBS", "1"))
+        except ValueError:
+            jobs = 1
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+class SerialExecutor:
+    """Run work items one at a time in the calling process."""
+
+    jobs = 1
+
+    def map(
+        self,
+        fn: Callable[[ItemT], ResultT],
+        items: Sequence[ItemT],
+    ) -> Iterator[ResultT]:
+        """Yield ``fn(item)`` for each item, lazily, in order."""
+        for item in items:
+            yield fn(item)
+
+
+class PoolExecutor:
+    """Fan work items out over a process pool; stream results in order.
+
+    Results are yielded in *submission* order regardless of completion
+    order, so downstream consumers (store writes, point hooks, tables)
+    cannot observe the parallelism.  Items later in the sequence may
+    already be complete when an earlier one is yielded — that is the
+    point: total wall-clock is the pool's, delivery order is serial's.
+    """
+
+    def __init__(self, jobs: int) -> None:
+        self.jobs = max(1, jobs)
+
+    def map(
+        self,
+        fn: Callable[[ItemT], ResultT],
+        items: Sequence[ItemT],
+    ) -> Iterator[ResultT]:
+        """Yield ``fn(item)`` for each item, in submission order."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        items = list(items)
+        if not items:
+            return
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(items))
+        ) as pool:
+            futures = [pool.submit(fn, item) for item in items]
+            for future in futures:  # submission order == item order
+                yield future.result()
+
+
+def executor_for(jobs: Optional[int] = None, n_items: Optional[int] = None):
+    """The right executor for ``jobs`` workers over ``n_items`` items.
+
+    Resolution follows :func:`resolve_jobs`; a single item (or one job)
+    stays in-process, matching the historical ``run_points`` behaviour.
+    """
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or (n_items is not None and n_items <= 1):
+        return SerialExecutor()
+    return PoolExecutor(jobs)

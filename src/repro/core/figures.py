@@ -34,6 +34,7 @@ from .scenarios import (
     Scenario,
     active_profile,
 )
+from .store import RunStore
 from .sweep import SweepResult, sweep_clients
 
 __all__ = ["Series", "FigureData", "FigureRunner", "PAPER_FIGURES"]
@@ -159,6 +160,7 @@ class FigureRunner:
         seed: int = 42,
         verbose: bool = False,
         jobs: Optional[int] = None,
+        store: Optional[RunStore] = None,
     ) -> None:
         self.profile = profile or active_profile()
         self.seed = seed
@@ -167,6 +169,11 @@ class FigureRunner:
         #: (``None``/1 = serial, 0 = one per CPU).  Results are
         #: byte-identical either way; see :mod:`repro.core.runner`.
         self.jobs = jobs
+        #: Content-addressed result store (``None`` = always run live).
+        #: With a store, figure data is read from persisted points —
+        #: already-stored points are not re-run, so an interrupted
+        #: regeneration resumes and a warm one costs only file reads.
+        self.store = store
         self._cache: Dict[Tuple[str, str], SweepResult] = {}
 
     # -- sweep plumbing ------------------------------------------------------
@@ -191,6 +198,7 @@ class FigureRunner:
             seed=self.seed,
             point_hook=self._progress if self.verbose else None,
             jobs=self.jobs,
+            store=self.store,
         )
         self._cache[key] = result
         return result

@@ -279,31 +279,51 @@ def measure_figures(
     jobs: int = 0,
     seed: int = 42,
     label: str = "",
+    store_dir: Optional[str] = None,
 ) -> Dict:
-    """Wall-clock of figure regeneration, serial vs ``jobs`` workers.
+    """Wall-clock of figure regeneration: serial, parallel, and store-warm.
 
-    Runs the same figure set twice with fresh :class:`FigureRunner`
-    instances (so the sweep cache cannot leak between the two timings)
-    and reports the speedup.  ``jobs=0`` means one worker per CPU.
+    Three timings with fresh :class:`FigureRunner` instances (so the
+    in-memory sweep cache cannot leak between them):
+
+    * *serial* — one worker, a run store mounted, so this pass doubles as
+      the store's cold fill (store writes are noise next to simulation);
+    * *parallel* — ``jobs`` workers, store-less;
+    * *store-warm* — serial again against the now-full store: every point
+      is a store hit, so this measures the resume/read path alone.
+
+    With a persisted ``store_dir`` (e.g. restored from a CI cache), the
+    "serial" pass is itself warm; ``store_prewarmed`` records that so the
+    trajectory artifact stays honest across cached workflow runs.
     """
+    import tempfile
+
     from .figures import PAPER_FIGURES, FigureRunner
     from .runner import resolve_jobs
     from .scenarios import PROFILES
+    from .store import RunStore
 
     names = list(figures or PAPER_FIGURES)
     prof = PROFILES[profile]
     effective_jobs = resolve_jobs(jobs if jobs else 0)
+    sdir = store_dir or tempfile.mkdtemp(prefix="repro-figstore-")
 
-    def regen(n_jobs: Optional[int]) -> float:
-        runner = FigureRunner(profile=prof, seed=seed, jobs=n_jobs)
+    def regen(n_jobs: Optional[int], store: Optional[RunStore]) -> float:
+        runner = FigureRunner(
+            profile=prof, seed=seed, jobs=n_jobs, store=store
+        )
         t0 = time.perf_counter()
         runner.run_figures(names)
         return time.perf_counter() - t0
 
-    serial_s = regen(None)
-    parallel_s = regen(effective_jobs)
+    cold_store = RunStore(sdir)
+    prewarmed = len(cold_store) > 0
+    serial_s = regen(None, cold_store)
+    parallel_s = regen(effective_jobs, None)
+    warm_store = RunStore(sdir)
+    warm_s = regen(None, warm_store)
     return {
-        "schema": "repro-bench-figures/1",
+        "schema": "repro-bench-figures/2",
         "label": label,
         "profile": profile,
         "figures": names,
@@ -313,6 +333,16 @@ def measure_figures(
         "serial_seconds": round(serial_s, 3),
         "parallel_seconds": round(parallel_s, 3),
         "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+        "store": {
+            "dir": os.path.abspath(sdir),
+            "fingerprint": cold_store.fingerprint,
+            "prewarmed": prewarmed,
+            "cold_seconds": round(serial_s, 3),
+            "warm_seconds": round(warm_s, 3),
+            "warm_speedup": round(serial_s / warm_s, 3) if warm_s else None,
+            "cold_stats": cold_store.stats(),
+            "warm_stats": warm_store.stats(),
+        },
     }
 
 
@@ -342,6 +372,11 @@ def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover
                              "(default: all ten)")
     parser.add_argument("--skip-figures", action="store_true",
                         help="only run the kernel micro-benchmarks")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="persistent run-store directory for the "
+                             "figure timings (default: fresh temp dir); "
+                             "a pre-warmed store turns the serial pass "
+                             "into a resume")
     args = parser.parse_args(argv)
 
     kernel = measure_kernel(label=args.label)
@@ -370,11 +405,16 @@ def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover
         figures = [f for f in args.figures.split(",") if f] or None
         report = measure_figures(
             figures=figures, profile=args.profile,
-            jobs=args.jobs, label=args.label,
+            jobs=args.jobs, label=args.label, store_dir=args.store,
         )
-        print(f"[figures] serial   {report['serial_seconds']:8.2f} s")
+        store = report["store"]
+        cold_tag = " (pre-warmed store)" if store["prewarmed"] else ""
+        print(f"[figures] serial   {report['serial_seconds']:8.2f} s{cold_tag}")
         print(f"[figures] jobs={report['jobs']:<3d} {report['parallel_seconds']:8.2f} s")
         print(f"[figures] speedup  {report['speedup']:8.2f}x")
+        print(f"[figures] warm     {store['warm_seconds']:8.2f} s "
+              f"({store['warm_speedup']:.1f}x vs cold, "
+              f"{store['warm_stats']['hits']} store hits)")
         write_json(report, args.figures_out)
         print(f"wrote {args.figures_out}")
     return 0

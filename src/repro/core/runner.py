@@ -1,11 +1,13 @@
-"""Parallel execution of sweep points over a process pool.
+"""Point resolution and execution over pluggable executors and the store.
 
 A client-count sweep is embarrassingly parallel: every point is a fully
 self-contained :class:`~repro.core.experiment.Experiment` (own simulator,
 own seeded RNG streams, own metrics), so points can run in worker
-processes with no shared state.  This module provides the picklable
-point-spec plus the fan-out machinery that :func:`repro.core.sweep
-.sweep_clients` and :class:`~repro.core.figures.FigureRunner` build on.
+processes with no shared state.  This module is the *execution layer* of
+the three-layer experiment core (DESIGN.md §10): it resolves picklable
+:class:`PointSpec` objects and drives them through an executor
+(:mod:`repro.core.executors`), optionally consulting a content-addressed
+:class:`~repro.core.store.RunStore` so finished points are never re-run.
 
 Determinism contract
 --------------------
@@ -13,7 +15,10 @@ Parallel output is *byte-identical* to serial output: each point is keyed
 by its own ``(server, workload, machine, network, seed)`` spec, results
 are collected in submission order, and ``point_hook`` fires in point
 order regardless of completion order.  ``tests/test_parallel_runner.py``
-asserts this for multiple architectures and scenarios.
+asserts this for multiple architectures and scenarios.  With a store
+mounted, results additionally round-trip through the store's JSON files
+— reporting reads what the store holds, never the in-memory object — and
+``tests/test_store_resume.py`` pins that the round trip changes nothing.
 
 Worker processes never mutate parent state; in particular a
 :class:`~repro.overload.OverloadControl` mounted on a ``ServerSpec`` is
@@ -23,16 +28,16 @@ exactly what the serial path's per-run ``reset()`` guarantees.
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 from ..metrics.report import RunMetrics
 from ..net.topology import NetworkSpec
 from ..osmodel.machine import MachineSpec
+from .executors import executor_for, resolve_jobs
 from .experiment import Experiment
 from .params import ServerSpec, WorkloadSpec
+from .store import RunStore
 
 __all__ = ["PointSpec", "run_point", "run_points", "resolve_jobs"]
 
@@ -57,54 +62,80 @@ class PointSpec:
             seed=self.seed,
         )
 
+    def provenance(self) -> dict:
+        """Human-readable identity stored next to this point's metrics."""
+        return {
+            "server": self.server.label,
+            "scenario": f"{self.machine.cpus}cpu-{self.network.name}",
+            "clients": self.workload.clients,
+            "seed": self.seed,
+        }
+
 
 def run_point(spec: PointSpec) -> RunMetrics:
     """Execute one sweep point (module-level so pools can pickle it)."""
     return spec.experiment().run()
 
 
-def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """Worker-count policy: explicit > ``REPRO_JOBS`` env > 1 (serial).
-
-    ``0`` (from either source) means "one worker per CPU".
-    """
-    if jobs is None:
-        try:
-            jobs = int(os.environ.get("REPRO_JOBS", "1"))
-        except ValueError:
-            jobs = 1
-    if jobs == 0:
-        jobs = os.cpu_count() or 1
-    return max(1, jobs)
-
-
 def run_points(
     specs: Sequence[PointSpec],
     jobs: Optional[int] = None,
     point_hook: Optional[Callable[[RunMetrics], None]] = None,
+    store: Optional[RunStore] = None,
 ) -> List[RunMetrics]:
     """Run every point; return metrics in point order.
 
     ``jobs <= 1`` (the default) runs serially in-process.  With more
-    jobs, points fan out over a :class:`~concurrent.futures
-    .ProcessPoolExecutor`; results (and ``point_hook`` invocations) still
-    arrive in point order, so callers cannot observe the difference
-    except in wall-clock.
+    jobs, points fan out over a process pool; results (and ``point_hook``
+    invocations) still arrive in point order, so callers cannot observe
+    the difference except in wall-clock.
+
+    With a ``store`` mounted, points whose content address is already
+    present are *not* executed — their metrics are read back from the
+    store — and every freshly executed point is persisted (atomically,
+    in point order) before its result is delivered.  A run killed midway
+    therefore leaves every delivered point on disk, and re-running the
+    same sweep resumes: only the missing points execute.  Delivered
+    results always come from the store's JSON files, so cached and fresh
+    points are the same kind of object (``tests/test_store_resume.py``
+    pins byte-identity against store-less runs).
     """
-    jobs = resolve_jobs(jobs)
-    results: List[RunMetrics] = []
-    if jobs <= 1 or len(specs) <= 1:
-        for spec in specs:
-            metrics = run_point(spec)
+    specs = list(specs)
+    if store is None:
+        results: List[RunMetrics] = []
+        executor = executor_for(jobs, len(specs))
+        for metrics in executor.map(run_point, specs):
             results.append(metrics)
             if point_hook is not None:
                 point_hook(metrics)
         return results
-    with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
-        futures = [pool.submit(run_point, spec) for spec in specs]
-        for future in futures:  # submission order == point order
-            metrics = future.result()
-            results.append(metrics)
-            if point_hook is not None:
-                point_hook(metrics)
+
+    keys = [store.key_for(spec) for spec in specs]
+    cached: dict = {}
+    missing: List[int] = []
+    for index, key in enumerate(keys):
+        metrics = store.get(key)
+        if metrics is not None:
+            cached[index] = metrics
+        else:
+            missing.append(index)
+
+    executor = executor_for(jobs, len(missing))
+    fresh = executor.map(run_point, [specs[i] for i in missing])
+    results = []
+    for index, spec in enumerate(specs):
+        if index in cached:
+            metrics = cached[index]
+        else:
+            live = next(fresh)
+            store.put(keys[index], live, provenance=spec.provenance())
+            # Reporting reads the store, not the live object: the JSON
+            # round trip is exercised on every fresh point, so a warm
+            # run cannot differ from the cold run that filled it.
+            metrics = store.fetch(keys[index])
+            if metrics is None:  # pragma: no cover - put just succeeded
+                metrics = live
+        results.append(metrics)
+        if point_hook is not None:
+            point_hook(metrics)
     return results

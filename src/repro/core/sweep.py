@@ -9,6 +9,7 @@ from ..metrics.report import RunMetrics, format_table
 from .params import ServerSpec, WorkloadSpec
 from .runner import PointSpec, run_points
 from .scenarios import Scenario
+from .store import RunStore
 
 __all__ = ["SweepResult", "sweep_clients"]
 
@@ -72,6 +73,7 @@ def sweep_clients(
     workload_overrides: Optional[Dict] = None,
     point_hook: Optional[Callable[[RunMetrics], None]] = None,
     jobs: Optional[int] = None,
+    store: Optional[RunStore] = None,
 ) -> SweepResult:
     """Run ``server`` in ``scenario`` at each client count.
 
@@ -84,6 +86,11 @@ def sweep_clients(
     serial, 0 = one worker per CPU; see :func:`repro.core.runner
     .resolve_jobs`).  Parallel results are byte-identical to serial ones:
     every point is a self-contained seeded experiment.
+
+    ``store`` mounts a content-addressed result store: cached points are
+    read back instead of re-run, fresh points are persisted atomically,
+    and an interrupted sweep resumes from where it died (see
+    :mod:`repro.core.store`).
     """
     specs = [
         PointSpec(
@@ -100,7 +107,7 @@ def sweep_clients(
         )
         for clients in client_counts
     ]
-    points = run_points(specs, jobs=jobs, point_hook=point_hook)
+    points = run_points(specs, jobs=jobs, point_hook=point_hook, store=store)
     return SweepResult(
         label=server.label, scenario=scenario.name, points=points
     )

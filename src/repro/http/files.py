@@ -25,13 +25,22 @@ from typing import Dict, Tuple
 
 import numpy as np
 
-__all__ = ["FilePopulation", "clear_population_cache"]
+__all__ = [
+    "FilePopulation",
+    "clear_population_cache",
+    "population_cache_stats",
+]
 
 #: Memoized populations keyed by (seed, n_files, extra kwargs); every
 #: point of a client-count sweep uses the same seed, so without this the
 #: N points regenerate N identical document sets.  Bounded FIFO.
 _POPULATION_CACHE: Dict[tuple, "FilePopulation"] = {}
 _POPULATION_CACHE_MAX = 32
+
+#: Hit/miss counters for the population cache, surfaced by the CLI
+#: summaries (``repro run/sweep/figures``); a "miss" is a population
+#: actually built, whether or not it was then cached.
+_POPULATION_CACHE_STATS = {"hits": 0, "misses": 0}
 
 
 def _cache_enabled() -> bool:
@@ -42,6 +51,15 @@ def _cache_enabled() -> bool:
 def clear_population_cache() -> None:
     """Drop all memoized populations (tests, memory pressure)."""
     _POPULATION_CACHE.clear()
+
+
+def population_cache_stats(reset: bool = False) -> Dict[str, int]:
+    """Snapshot of the population-cache hit/miss counters."""
+    out = dict(_POPULATION_CACHE_STATS)
+    if reset:
+        _POPULATION_CACHE_STATS["hits"] = 0
+        _POPULATION_CACHE_STATS["misses"] = 0
+    return out
 
 
 class FilePopulation:
@@ -110,7 +128,9 @@ class FilePopulation:
         if _cache_enabled():
             cached = _POPULATION_CACHE.get(key)
             if cached is not None:
+                _POPULATION_CACHE_STATS["hits"] += 1
                 return cached
+        _POPULATION_CACHE_STATS["misses"] += 1
         population = cls(
             RandomStreams(seed).stream("files"), n_files=n_files, **kwargs
         )

@@ -10,7 +10,12 @@ from .distributions import (
 )
 from .httperf import EmulatedClient, HttperfConfig, LoadGenerator
 from .sessionlog import ReplayWorkload, SessionLog
-from .surge import SessionPlan, SurgeConfig, SurgeWorkload
+from .surge import (
+    SessionPlan,
+    SurgeConfig,
+    SurgeWorkload,
+    workload_cache_stats,
+)
 
 __all__ = [
     "BoundedPareto",
@@ -27,4 +32,5 @@ __all__ = [
     "SessionPlan",
     "SurgeConfig",
     "SurgeWorkload",
+    "workload_cache_stats",
 ]

@@ -22,7 +22,12 @@ from ..http.files import FilePopulation
 from ..http.messages import Request
 from .distributions import BoundedPareto, Geometric
 
-__all__ = ["SurgeConfig", "SessionPlan", "SurgeWorkload"]
+__all__ = [
+    "SurgeConfig",
+    "SessionPlan",
+    "SurgeWorkload",
+    "workload_cache_stats",
+]
 
 
 @dataclass(frozen=True)
@@ -94,6 +99,19 @@ class SessionPlan:
 _WORKLOAD_CACHE: dict = {}
 _WORKLOAD_CACHE_MAX = 64
 
+#: Hit/miss counters, surfaced by the CLI summaries next to the
+#: population cache's (see ``workload_cache_stats``).
+_WORKLOAD_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def workload_cache_stats(reset: bool = False) -> dict:
+    """Snapshot of the session-workload cache hit/miss counters."""
+    out = dict(_WORKLOAD_CACHE_STATS)
+    if reset:
+        _WORKLOAD_CACHE_STATS["hits"] = 0
+        _WORKLOAD_CACHE_STATS["misses"] = 0
+    return out
+
 
 class SurgeWorkload:
     """Samples sessions against a :class:`FilePopulation`.
@@ -131,13 +149,16 @@ class SurgeWorkload:
 
         config = config or SurgeConfig()
         if not _cache_enabled():
+            _WORKLOAD_CACHE_STATS["misses"] += 1
             return cls(files, config)
         key = (id(files), config)
         cached = _WORKLOAD_CACHE.get(key)
         # Guard against id() reuse after the population was collected:
         # the cached entry must reference the *same* population object.
         if cached is not None and cached.files is files:
+            _WORKLOAD_CACHE_STATS["hits"] += 1
             return cached
+        _WORKLOAD_CACHE_STATS["misses"] += 1
         workload = cls(files, config)
         if len(_WORKLOAD_CACHE) >= _WORKLOAD_CACHE_MAX:
             _WORKLOAD_CACHE.pop(next(iter(_WORKLOAD_CACHE)))

@@ -45,6 +45,93 @@ def test_sweep_command(capsys):
     assert out.count("\n") >= 4  # title + header + separator + 2 rows
 
 
+def test_sweep_with_store_resumes(tmp_path, capsys):
+    argv = [
+        "sweep", "--server", "nio", "--threads", "1",
+        "--clients", "5,15", "--duration", "4", "--warmup", "2",
+        "--store", str(tmp_path / "store"),
+    ]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "2 points executed+stored" in cold
+    assert "file population" in cold
+
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert "2 hits, 0 misses, 0 points executed+stored" in warm
+    # The table itself is identical either way.
+    table = [ln for ln in cold.splitlines() if ln.strip().startswith("5 ")]
+    assert table and all(ln in warm for ln in table)
+
+
+def test_sweep_adaptive_replication(capsys):
+    rc = main([
+        "sweep", "--server", "nio", "--threads", "1",
+        "--clients", "10", "--duration", "3", "--warmup", "2",
+        "--reps", "2:3", "--ci", "5.0",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "adaptive" in out
+    assert "±ci95" in out and "reps" in out
+
+
+def test_sweep_rejects_bad_reps(capsys):
+    rc = main([
+        "sweep", "--server", "nio", "--threads", "1",
+        "--clients", "10", "--duration", "3", "--warmup", "2",
+        "--reps", "nope",
+    ])
+    assert rc == 2
+    assert "bad --reps" in capsys.readouterr().err
+
+
+def test_cache_ls_and_gc(tmp_path, capsys, monkeypatch):
+    store_dir = str(tmp_path / "store")
+    assert main([
+        "sweep", "--server", "nio", "--threads", "1",
+        "--clients", "5", "--duration", "3", "--warmup", "2",
+        "--store", store_dir,
+    ]) == 0
+    capsys.readouterr()
+
+    assert main(["cache", "ls", "--store", store_dir]) == 0
+    out = capsys.readouterr().out
+    assert "nio-1w" in out and "1 entries" in out
+
+    # A different fingerprint sees the entry as stale and gc drops it.
+    monkeypatch.setenv("REPRO_FINGERPRINT", "some-other-version")
+    assert main(["cache", "gc", "--store", store_dir]) == 0
+    out = capsys.readouterr().out
+    assert "removed 1 stale entries" in out
+
+    assert main(["cache", "ls", "--store", store_dir]) == 0
+    assert "empty store" in capsys.readouterr().out
+
+
+def test_cache_gc_all(tmp_path, capsys):
+    store_dir = str(tmp_path / "store")
+    assert main([
+        "sweep", "--server", "nio", "--threads", "1",
+        "--clients", "5,15", "--duration", "3", "--warmup", "2",
+        "--store", store_dir,
+    ]) == 0
+    capsys.readouterr()
+    assert main(["cache", "gc", "--store", store_dir, "--all"]) == 0
+    assert "removed 2 entries" in capsys.readouterr().out
+
+
+def test_resume_flag_uses_default_store(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_STORE", str(tmp_path / "default-store"))
+    assert main([
+        "sweep", "--server", "nio", "--threads", "1",
+        "--clients", "5", "--duration", "3", "--warmup", "2",
+        "--resume",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "default-store" in out and "1 points executed+stored" in out
+
+
 def test_figure_rejects_out_of_range(capsys):
     assert main(["figure", "11"]) == 2
 
