@@ -4,6 +4,7 @@ Commands
 --------
 run      one experiment (server x machine x network x clients)
 sweep    a client-count sweep for one server configuration
+cluster  a replica tier behind a load balancer (steady/flash/slowloris/restart)
 figure   regenerate one paper figure (1-10) and print its tables
 figures  regenerate every paper figure (optionally in parallel / to JSON)
 observe  run one instrumented experiment and print the span report
@@ -22,8 +23,14 @@ Examples
     python -m repro figure 3 --profile quick
     python -m repro figures --profile quick --jobs 0 --json figures.json
     python -m repro figures --profile standard --resume   # store-backed
+    python -m repro cluster --replicas 3 --policy least_connections \\
+        --clients 150,300 --cpu-speed 0.12
+    python -m repro cluster --mix "nio:1,nio:1,httpd:512@0.5" \\
+        --scenario flash --surge-clients 600
+    python -m repro cluster --scenario restart --clients 150 --stats
+    python -m repro cluster --cache-mb 64 --cache-sweep 1,4,16,64
     python -m repro cache ls
-    python -m repro cache gc
+    python -m repro cache gc --older-than 7d
     python -m repro bench --profile quick --jobs 0
     python -m repro observe --server httpd --threads 896 --network 100m \\
         --clients 6000 --spans spans.jsonl --chrome trace.json
@@ -307,6 +314,220 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_mix(text: str, cpu_speed: float):
+    """``kind:threads[@speed],...`` -> tuple of ReplicaSpec."""
+    from .cluster import ReplicaSpec
+
+    replicas = []
+    for i, entry in enumerate(t for t in text.split(",") if t.strip()):
+        entry = entry.strip()
+        speed = cpu_speed
+        if "@" in entry:
+            entry, _, speed_text = entry.partition("@")
+            speed = float(speed_text)
+        kind, _, threads = entry.partition(":")
+        replicas.append(ReplicaSpec(
+            rid=f"r{i}",
+            server=ServerSpec(kind=kind, threads=int(threads or 1)),
+            machine=MachineSpec(cpus=1, cpu_speed=speed),
+        ))
+    return tuple(replicas)
+
+
+def _parse_classes(text: str):
+    """``name:weight:bw_mbps:rtt_ms:loss[:adversary];...`` -> class specs."""
+    from .cluster import ClientClassSpec
+
+    classes = []
+    for entry in (t for t in text.split(";") if t.strip()):
+        parts = entry.strip().split(":")
+        if len(parts) < 5:
+            raise ValueError(
+                f"bad class {entry!r}; expected "
+                "name:weight:bw_mbps:rtt_ms:loss[:adversary]"
+            )
+        classes.append(ClientClassSpec(
+            name=parts[0],
+            weight=float(parts[1]),
+            bandwidth_bps=float(parts[2]) * 1e6,
+            rtt_s=float(parts[3]) / 1e3,
+            loss=float(parts[4]),
+            adversary=parts[5] if len(parts) > 5 else "",
+        ))
+    return tuple(classes)
+
+
+def _cluster_overload(args: argparse.Namespace):
+    """The per-replica admission policy the flags ask for, or None."""
+    if args.admission == "none":
+        return None
+    from .overload import LIFO, CoDelShedder, OverloadControl, TokenBucket
+
+    if args.admission == "token-bucket":
+        return OverloadControl(
+            admission=TokenBucket(rate=args.rate, burst=64.0)
+        )
+    return OverloadControl(
+        admission=CoDelShedder(target=0.05, interval=0.5), discipline=LIFO
+    )
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    """Run a replica tier behind a load balancer."""
+    import dataclasses as dc
+
+    from .cluster import (
+        BalancerSpec,
+        CacheSpec,
+        ClusterPointSpec,
+        ClusterSpec,
+        FlashCrowdSpec,
+        ReplicaSpec,
+        RollingRestartSpec,
+        hit_rate_sweep,
+        sweep_cluster,
+    )
+
+    if args.mix:
+        replicas = _parse_mix(args.mix, args.cpu_speed)
+    else:
+        replicas = tuple(
+            ReplicaSpec(
+                rid=f"r{i}",
+                server=ServerSpec(kind=args.server, threads=args.threads),
+                machine=MachineSpec(cpus=1, cpu_speed=args.cpu_speed),
+            )
+            for i in range(args.replicas)
+        )
+    overload = _cluster_overload(args)
+    if overload is not None:
+        replicas = tuple(
+            dc.replace(r, server=dc.replace(r.server, overload=overload))
+            for r in replicas
+        )
+    cache = (
+        CacheSpec(capacity_bytes=args.cache_mb * 1024 * 1024)
+        if args.cache_mb
+        else None
+    )
+    kwargs = {}
+    if args.classes:
+        kwargs["classes"] = _parse_classes(args.classes)
+    elif args.scenario == "slowloris":
+        from .cluster import ClientClassSpec
+
+        kwargs["classes"] = (
+            ClientClassSpec("wan"),
+            ClientClassSpec(
+                "attack", weight=args.attack_weight, adversary="slowloris"
+            ),
+        )
+    cluster = ClusterSpec(
+        replicas=replicas,
+        balancer=BalancerSpec(
+            policy=args.policy,
+            vnodes=args.vnodes,
+            hot_fraction=args.hot_fraction,
+            hot_keys=args.hot_keys,
+        ),
+        cache=cache,
+        **kwargs,
+    )
+
+    if args.cache_sweep:
+        from .http.files import FilePopulation
+
+        files = FilePopulation.shared(args.seed, n_files=2000)
+        capacities = [
+            int(float(mb) * 1024 * 1024)
+            for mb in args.cache_sweep.split(",")
+        ]
+        print("LRU capacity vs hit rate (SURGE population, "
+              f"seed {args.seed}):")
+        for capacity, rate in hit_rate_sweep(files, capacities, args.seed):
+            print(f"  {capacity / (1024 * 1024):8.1f} MB: "
+                  f"{rate * 100:5.1f}% hits")
+        return 0
+
+    flash = None
+    restart = None
+    if args.scenario == "flash":
+        at = (
+            args.surge_at
+            if args.surge_at is not None
+            else args.warmup + args.duration * 0.25
+        )
+        flash = FlashCrowdSpec(
+            at=at, surge_clients=args.surge_clients, decay=args.surge_decay
+        )
+    elif args.scenario == "restart":
+        rid = args.restart_rid or replicas[0].rid
+        restart = RollingRestartSpec(
+            rid=rid,
+            drain_at=(
+                args.drain_at
+                if args.drain_at is not None
+                else args.warmup + args.duration * 0.2
+            ),
+            down_at=(
+                args.down_at
+                if args.down_at is not None
+                else args.warmup + args.duration * 0.4
+            ),
+            up_at=(
+                args.up_at
+                if args.up_at is not None
+                else args.warmup + args.duration * 0.6
+            ),
+            warm_s=args.warm_s,
+        )
+
+    clients = [int(c) for c in args.clients.split(",")]
+    store = _mounted_store(args)
+    result = sweep_cluster(
+        cluster,
+        clients,
+        duration=args.duration,
+        warmup=args.warmup,
+        seed=args.seed,
+        flash=flash,
+        restart=restart,
+        jobs=args.jobs,
+        store=store,
+    )
+    print(result.table())
+    if args.stats:
+        from .metrics.report import format_table
+
+        for point in result.points:
+            stats = point.server_stats
+            rows = []
+            for rspec in cluster.replicas:
+                prefix = f"replica.{rspec.rid}."
+                row = {"replica": rspec.rid}
+                for key in sorted(stats):
+                    if key.startswith(prefix):
+                        row[key[len(prefix):]] = stats[key]
+                if len(row) > 1:
+                    rows.append(row)
+            if rows:
+                print()
+                print(format_table(
+                    rows, title=f"{point.clients} clients: per-replica"
+                ))
+            extras = {
+                k: v
+                for k, v in sorted(stats.items())
+                if k.split(".")[0] in
+                ("lb", "cache", "wan", "attack", "restart")
+                or k in ("tombstones_compacted", "requests_shed")
+            }
+            for key, value in extras.items():
+                print(f"{key:>32s}: {value}")
+    _print_cache_summary(store)
+    return 0
+
+
 def cmd_figure(args: argparse.Namespace) -> int:
     if not 1 <= args.number <= 10:
         print("figure number must be 1-10", file=sys.stderr)
@@ -375,6 +596,26 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return perf.main(argv)
 
 
+def parse_age(text: str) -> float:
+    """Age string -> seconds: bare seconds or 90s / 15m / 24h / 7d."""
+    units = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+    text = text.strip()
+    scale = units.get(text[-1:].lower())
+    if scale is not None:
+        text = text[:-1]
+    else:
+        scale = 1.0
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad age {text!r}; expected e.g. 90, 90s, 15m, 24h or 7d"
+        )
+    if value < 0:
+        raise argparse.ArgumentTypeError("age must be >= 0")
+    return value * scale
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     """Inspect (``ls``) or clean (``gc``) the content-addressed run store."""
     from .core import RunStore, default_store_dir
@@ -397,8 +638,12 @@ def cmd_cache(args: argparse.Namespace) -> int:
               f"(run `repro cache gc` to drop stale entries)")
         return 0
     if args.action == "gc":
-        removed = store.gc(all_entries=args.all)
+        removed = store.gc(
+            all_entries=args.all, older_than_s=args.older_than
+        )
         what = "entries" if args.all else "stale entries"
+        if args.older_than is not None and not args.all:
+            what += f" (or older than {args.older_than:.0f}s)"
         print(f"{store.root}: removed {removed} {what}, "
               f"{len(store)} remain")
         return 0
@@ -473,6 +718,88 @@ def build_parser() -> argparse.ArgumentParser:
     _add_store(p_sweep)
     p_sweep.set_defaults(fn=cmd_sweep)
 
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="run a replica tier behind a load balancer "
+             "(steady/flash/slowloris/restart scenarios)",
+    )
+    p_cluster.add_argument(
+        "--replicas", type=int, default=3, metavar="N",
+        help="number of identical replicas (ignored with --mix)",
+    )
+    p_cluster.add_argument(
+        "--mix", default=None, metavar="SPEC",
+        help="heterogeneous replicas: 'kind:threads[@cpu_speed],...' "
+             "e.g. 'nio:1,nio:1,httpd:512@0.5'",
+    )
+    p_cluster.add_argument(
+        "--server", choices=("nio", "httpd", "staged", "amped"),
+        default="nio",
+    )
+    p_cluster.add_argument("--threads", type=int, default=1)
+    p_cluster.add_argument(
+        "--cpu-speed", type=float, default=0.35,
+        help="per-replica CPU speed (fraction of the paper's SUT; "
+             "default deliberately under-provisioned)",
+    )
+    p_cluster.add_argument(
+        "--policy",
+        choices=("round_robin", "least_connections", "consistent_hash"),
+        default="round_robin",
+    )
+    p_cluster.add_argument("--vnodes", type=int, default=64,
+                           help="consistent_hash: vnodes per replica")
+    p_cluster.add_argument("--hot-fraction", type=float, default=0.0,
+                           help="consistent_hash: hot-key skew fraction")
+    p_cluster.add_argument("--hot-keys", type=int, default=8,
+                           help="consistent_hash: hot key set size")
+    p_cluster.add_argument("--cache-mb", type=int, default=0,
+                           help="mount an LRU front cache of this size")
+    p_cluster.add_argument(
+        "--cache-sweep", default=None, metavar="MB,MB,...",
+        help="print the capacity-vs-hit-rate curve and exit",
+    )
+    p_cluster.add_argument(
+        "--classes", default=None, metavar="SPEC",
+        help="WAN classes: 'name:weight:bw_mbps:rtt_ms:loss[:adversary]"
+             ";...' e.g. 'dsl:1:8:60:0.02;lan:1:1000:1:0'",
+    )
+    p_cluster.add_argument(
+        "--scenario",
+        choices=("steady", "flash", "slowloris", "restart"),
+        default="steady",
+    )
+    p_cluster.add_argument("--surge-clients", type=int, default=600)
+    p_cluster.add_argument("--surge-at", type=float, default=None,
+                           help="flash: absolute surge time (default "
+                                "warmup + 25%% of duration)")
+    p_cluster.add_argument("--surge-decay", type=float, default=1.5)
+    p_cluster.add_argument("--attack-weight", type=float, default=0.5,
+                           help="slowloris: attack class weight vs the "
+                                "legit class's 1.0")
+    p_cluster.add_argument("--restart-rid", default=None)
+    p_cluster.add_argument("--drain-at", type=float, default=None)
+    p_cluster.add_argument("--down-at", type=float, default=None)
+    p_cluster.add_argument("--up-at", type=float, default=None)
+    p_cluster.add_argument("--warm-s", type=float, default=3.0)
+    p_cluster.add_argument(
+        "--admission", choices=("none", "token-bucket", "codel"),
+        default="none", help="per-replica admission policy",
+    )
+    p_cluster.add_argument("--rate", type=float, default=520.0,
+                           help="token-bucket: admitted conn/s per replica")
+    p_cluster.add_argument("--clients", default="150,300",
+                           help="comma-separated client counts")
+    p_cluster.add_argument("--duration", type=float, default=10.0)
+    p_cluster.add_argument("--warmup", type=float, default=16.0)
+    p_cluster.add_argument("--seed", type=int, default=42)
+    p_cluster.add_argument("--stats", action="store_true",
+                           help="also print per-replica and front-end "
+                                "counters")
+    _add_jobs(p_cluster)
+    _add_store(p_cluster)
+    p_cluster.set_defaults(fn=cmd_cluster)
+
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("number", type=int, help="paper figure number (1-10)")
     p_fig.add_argument("--profile", choices=sorted(PROFILES), default="quick")
@@ -505,6 +832,11 @@ def build_parser() -> argparse.ArgumentParser:
                               ".repro-store)")
     p_cache.add_argument("--all", action="store_true",
                          help="gc: drop every entry, not just stale ones")
+    p_cache.add_argument("--older-than", type=parse_age, default=None,
+                         metavar="AGE",
+                         help="gc: also drop entries older than AGE "
+                              "(seconds, or 90s/15m/24h/7d), regardless "
+                              "of fingerprint")
     p_cache.set_defaults(fn=cmd_cache)
 
     p_bench = sub.add_parser(

@@ -1,0 +1,124 @@
+"""Front cache tier: an LRU over the SURGE file population.
+
+The cache sits between the WAN clients and the balancer.  A request for
+a cached file is answered at the cache box (one fixed ``hit_service_s``
+delay, no replica involved); a miss is routed to a replica and the reply
+populates the cache on the way back.  Because SURGE request popularity
+is Zipf-distributed, small capacities already capture large hit rates —
+:func:`hit_rate_sweep` measures exactly that curve by replaying a
+deterministic sampled trace through LRUs of increasing capacity.
+
+The LRU itself is plain bookkeeping on an :class:`~collections.OrderedDict`
+— no RNG, no simulation time — so it cannot perturb determinism.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["LruCache", "hit_rate_sweep"]
+
+
+class LruCache:
+    """Byte-capacity LRU keyed on file id."""
+
+    __slots__ = (
+        "capacity_bytes",
+        "hit_service_s",
+        "_entries",
+        "bytes_used",
+        "hits",
+        "misses",
+        "insertions",
+        "evictions",
+        "uncacheable",
+    )
+
+    def __init__(self, capacity_bytes: int, hit_service_s: float = 0.0) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity_bytes = int(capacity_bytes)
+        self.hit_service_s = hit_service_s
+        self._entries: "OrderedDict[int, int]" = OrderedDict()
+        self.bytes_used = 0
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.uncacheable = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, file_id: int) -> bool:
+        """True on hit (and refresh recency), False on miss."""
+        if file_id in self._entries:
+            self._entries.move_to_end(file_id)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, file_id: int, nbytes: int) -> None:
+        """Admit ``file_id`` (``nbytes`` long), evicting LRU entries."""
+        if nbytes > self.capacity_bytes:
+            self.uncacheable += 1
+            return
+        if file_id in self._entries:
+            self._entries.move_to_end(file_id)
+            return
+        self._entries[file_id] = nbytes
+        self.bytes_used += nbytes
+        self.insertions += 1
+        while self.bytes_used > self.capacity_bytes:
+            _victim, size = self._entries.popitem(last=False)
+            self.bytes_used -= size
+            self.evictions += 1
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        """Flat counters for the cluster-aggregate ``server_stats``."""
+        return {
+            "cache.capacity_bytes": self.capacity_bytes,
+            "cache.bytes_used": self.bytes_used,
+            "cache.entries": len(self._entries),
+            "cache.hits": self.hits,
+            "cache.misses": self.misses,
+            "cache.hit_rate": self.hit_rate,
+            "cache.insertions": self.insertions,
+            "cache.evictions": self.evictions,
+            "cache.uncacheable": self.uncacheable,
+        }
+
+
+def hit_rate_sweep(
+    files,
+    capacities: Sequence[int],
+    seed: int = 42,
+    requests: int = 50_000,
+) -> List[Tuple[int, float]]:
+    """Capacity-vs-hit-rate curve for one SURGE file population.
+
+    Samples a ``requests``-long trace once (Zipf popularity, fixed
+    ``seed``) and replays it through a fresh LRU per capacity, so the
+    curve is deterministic and every capacity sees the same trace.
+    """
+    rng = np.random.default_rng(seed)
+    trace = files.sample_files(rng, requests)
+    sizes = files.sizes
+    out: List[Tuple[int, float]] = []
+    for capacity in capacities:
+        cache = LruCache(capacity)
+        for file_id in trace:
+            fid = int(file_id)
+            if not cache.lookup(fid):
+                cache.insert(fid, int(sizes[fid]))
+        out.append((int(capacity), cache.hit_rate))
+    return out

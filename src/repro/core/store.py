@@ -298,12 +298,23 @@ class RunStore:
             })
         return rows
 
-    def gc(self, all_entries: bool = False) -> int:
+    def gc(
+        self,
+        all_entries: bool = False,
+        older_than_s: Optional[float] = None,
+    ) -> int:
         """Drop stale entries (fingerprint mismatch); ``all_entries``
-        drops everything.  Returns the number of files removed."""
+        drops everything; ``older_than_s`` additionally drops entries
+        whose ``created`` timestamp is older than that age in seconds,
+        regardless of fingerprint.  Returns the number of files removed.
+        """
         removed = 0
+        now = time.time()
         for path, payload in list(self.entries()):
-            if all_entries or payload.get("fingerprint") != self.fingerprint:
+            drop = all_entries or payload.get("fingerprint") != self.fingerprint
+            if not drop and older_than_s is not None:
+                drop = now - payload.get("created", 0.0) > older_than_s
+            if drop:
                 try:
                     os.unlink(path)
                     removed += 1

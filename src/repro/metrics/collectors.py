@@ -147,7 +147,13 @@ class IntervalSeries:
 class MetricsHub:
     """All measurement for one run, gated to [warmup, warmup + duration)."""
 
-    def __init__(self, sim: Simulator, warmup: float, duration: float) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        warmup: float,
+        duration: float,
+        stat_seed: int = 0x5EED,
+    ) -> None:
         if warmup < 0 or duration <= 0:
             raise ValueError("warmup must be >= 0 and duration > 0")
         self.sim = sim
@@ -161,9 +167,12 @@ class MetricsHub:
         self.sessions_completed = 0
         self.connections_established = 0
 
-        self.response_time = StatAccumulator()
-        self.time_to_first_byte = StatAccumulator()
-        self.connection_time = StatAccumulator()
+        # stat_seed only matters past _MAX_SAMPLES retained samples, but
+        # per-replica hubs in a cluster derive distinct seeds from
+        # (seed, rid) so reservoir decisions never alias across replicas.
+        self.response_time = StatAccumulator(seed=stat_seed)
+        self.time_to_first_byte = StatAccumulator(seed=stat_seed)
+        self.connection_time = StatAccumulator(seed=stat_seed)
 
         self.reply_series = IntervalSeries()
         self.error_series = IntervalSeries()

@@ -40,6 +40,10 @@ class Link:
         "_busy_until",
         "bytes_sent",
         "transmissions",
+        "loss",
+        "loss_rng",
+        "retransmit_delay",
+        "losses",
     )
 
     def __init__(
@@ -48,11 +52,18 @@ class Link:
         bandwidth_bytes_per_s: float,
         latency_s: float = 0.0002,
         name: str = "link",
+        loss: float = 0.0,
+        loss_rng=None,
+        retransmit_delay: float = 0.05,
     ) -> None:
         if bandwidth_bytes_per_s <= 0:
             raise SimulationError("bandwidth must be positive")
         if latency_s < 0:
             raise SimulationError("latency must be non-negative")
+        if not 0.0 <= loss < 1.0:
+            raise SimulationError("loss must be in [0, 1)")
+        if loss > 0.0 and loss_rng is None:
+            raise SimulationError("a lossy link needs loss_rng")
         self.sim = sim
         self.name = name
         self.bandwidth = float(bandwidth_bytes_per_s)
@@ -60,6 +71,25 @@ class Link:
         self._busy_until = 0.0
         self.bytes_sent = 0
         self.transmissions = 0
+        self.loss = float(loss)
+        self.loss_rng = loss_rng
+        self.retransmit_delay = float(retransmit_delay)
+        self.losses = 0
+
+    def _lossy_done(self, done: float, nbytes: int) -> float:
+        """Fluid loss model: each drop costs one RTO + re-serialization.
+
+        Capped retries keep the worst case bounded; the RNG is consumed
+        *only* on lossy links, so loss-free runs draw zero extra samples
+        and stay byte-identical to pre-loss behaviour.
+        """
+        retries = 0
+        while retries < 8 and self.loss_rng.random() < self.loss:
+            done += self.retransmit_delay + nbytes / self.bandwidth
+            self.bytes_sent += nbytes
+            self.losses += 1
+            retries += 1
+        return done
 
     def transmit(self, nbytes: int) -> Event:
         """Send ``nbytes``; the event fires when the last byte *arrives*.
@@ -71,9 +101,11 @@ class Link:
         now = self.sim.now
         start = max(now, self._busy_until)
         done = start + nbytes / self.bandwidth
-        self._busy_until = done
         self.bytes_sent += nbytes
         self.transmissions += 1
+        if self.loss > 0.0:
+            done = self._lossy_done(done, nbytes)
+        self._busy_until = done
         return self.sim.timeout(done + self.latency - now)
 
     def transmit_call(self, nbytes: int, fn, *args) -> None:
@@ -90,9 +122,11 @@ class Link:
         now = self.sim.now
         start = now if now > self._busy_until else self._busy_until
         done = start + nbytes / self.bandwidth
-        self._busy_until = done
         self.bytes_sent += nbytes
         self.transmissions += 1
+        if self.loss > 0.0:
+            done = self._lossy_done(done, nbytes)
+        self._busy_until = done
         self.sim.call_later(done + self.latency - now, fn, *args)
 
     def queue_delay(self) -> float:
@@ -123,9 +157,18 @@ class DuplexLink:
         bandwidth_bytes_per_s: float,
         latency_s: float = 0.0002,
         name: str = "eth",
+        loss: float = 0.0,
+        loss_rng=None,
+        retransmit_delay: float = 0.05,
     ) -> None:
-        self.up = Link(sim, bandwidth_bytes_per_s, latency_s, f"{name}-up")
-        self.down = Link(sim, bandwidth_bytes_per_s, latency_s, f"{name}-down")
+        self.up = Link(
+            sim, bandwidth_bytes_per_s, latency_s, f"{name}-up",
+            loss=loss, loss_rng=loss_rng, retransmit_delay=retransmit_delay,
+        )
+        self.down = Link(
+            sim, bandwidth_bytes_per_s, latency_s, f"{name}-down",
+            loss=loss, loss_rng=loss_rng, retransmit_delay=retransmit_delay,
+        )
 
     @property
     def rtt(self) -> float:

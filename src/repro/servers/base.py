@@ -93,6 +93,7 @@ class Server:
             "backlog_depth": self.listener.backlog_depth,
             "accept_queue_peak": self.listener.backlog_peak,
             "memory_pressure": round(self.machine.memory.pressure, 4),
+            "tombstones_compacted": self.sim.tombstones_compacted,
         }
         out.update(self.overload.stats())
         return out

@@ -1,0 +1,81 @@
+"""Unit tests for the LRU front cache (repro.cluster.cache)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import LruCache, hit_rate_sweep
+from repro.http.files import FilePopulation
+
+
+def test_lookup_miss_then_hit():
+    cache = LruCache(100)
+    assert not cache.lookup(1)
+    cache.insert(1, 40)
+    assert cache.lookup(1)
+    assert cache.hits == 1 and cache.misses == 1
+    assert cache.hit_rate == 0.5
+
+
+def test_eviction_is_least_recently_used():
+    cache = LruCache(100)
+    cache.insert(1, 40)
+    cache.insert(2, 40)
+    cache.lookup(1)          # refresh 1 -> 2 becomes the LRU entry
+    cache.insert(3, 40)      # over capacity -> evict 2
+    assert cache.lookup(1)
+    assert not cache.lookup(2)
+    assert cache.lookup(3)
+    assert cache.evictions == 1
+    assert cache.bytes_used == 80
+    assert len(cache) == 2
+
+
+def test_oversize_objects_are_uncacheable():
+    cache = LruCache(100)
+    cache.insert(1, 101)
+    assert cache.uncacheable == 1
+    assert len(cache) == 0 and cache.bytes_used == 0
+    assert not cache.lookup(1)
+
+
+def test_reinsert_refreshes_without_double_count():
+    cache = LruCache(100)
+    cache.insert(1, 40)
+    cache.insert(2, 40)
+    cache.insert(1, 40)      # already resident: refresh, no new bytes
+    assert cache.bytes_used == 80 and cache.insertions == 2
+    cache.insert(3, 40)      # evicts 2, the stale entry
+    assert not cache.lookup(2) and cache.lookup(1)
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        LruCache(0)
+
+
+def test_stats_keys():
+    cache = LruCache(64, hit_service_s=0.001)
+    cache.insert(1, 10)
+    cache.lookup(1)
+    stats = cache.stats()
+    assert stats["cache.capacity_bytes"] == 64
+    assert stats["cache.hits"] == 1
+    assert stats["cache.hit_rate"] == 1.0
+    assert cache.hit_service_s == 0.001
+
+
+# -- capacity-vs-hit-rate sweep ----------------------------------------------
+
+def test_hit_rate_sweep_monotone_and_deterministic():
+    files = FilePopulation.shared(42, n_files=500)
+    capacities = [64 * 1024, 512 * 1024, 4 * 1024 * 1024]
+    curve = hit_rate_sweep(files, capacities, seed=7, requests=5_000)
+    assert [c for c, _ in curve] == capacities
+    rates = [r for _, r in curve]
+    # Zipf popularity: bigger caches never hit less, and even the small
+    # one already captures a nonzero share.
+    assert rates == sorted(rates)
+    assert rates[0] > 0.0
+    assert rates[-1] > rates[0]
+    assert curve == hit_rate_sweep(files, capacities, seed=7, requests=5_000)

@@ -1,0 +1,150 @@
+"""The three hostile-traffic scenarios (repro.cluster.scenarios).
+
+Flash crowd: least-connections beats round robin on surge p99 at the
+validated straggler operating point.  Rolling restart: zero new routes
+to the drained replica, in-flight connections reset on kill.  Slowloris:
+adversaries pin thread-per-connection workers until the idle reaper
+fires, and PR 3 admission policies shed under the extra pressure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.cluster import (
+    ClientClassSpec,
+    FlashCrowdSpec,
+    apportion,
+    flash_offsets,
+    flash_point,
+    restart_point,
+    slowloris_point,
+    straggler_cluster,
+    uniform_cluster,
+)
+from repro.core import ServerSpec
+from repro.overload import OverloadControl, TokenBucket
+
+
+# -- deterministic population plumbing ---------------------------------------
+
+def test_apportion_splits_exactly_and_deterministically():
+    classes = (
+        ClientClassSpec("a", weight=1.0),
+        ClientClassSpec("b", weight=0.5),
+    )
+    counts = apportion(30, classes)
+    assert sum(counts) == 30
+    assert counts == [20, 10]
+    assert counts == apportion(30, classes)
+
+
+def test_flash_offsets_step_up_and_decay():
+    flash = FlashCrowdSpec(at=10.0, surge_clients=50, decay=2.0)
+    offsets = flash_offsets(flash)
+    assert len(offsets) == 50
+    assert offsets == sorted(offsets)
+    assert offsets[0] > 0.0
+    # Exponential quantiles: gaps widen toward the tail (rate decays).
+    gaps = [b - a for a, b in zip(offsets, offsets[1:])]
+    assert gaps[-1] > gaps[0]
+    assert offsets == flash_offsets(flash)
+
+
+# -- flash crowd --------------------------------------------------------------
+
+def test_flash_crowd_least_connections_beats_round_robin():
+    """The ISSUE's acceptance check at the validated operating point:
+    a 600-client surge on a straggler cluster saturates the slow box
+    under round robin; least connections steers around it."""
+    p99 = {}
+    for policy in ("round_robin", "least_connections"):
+        cluster = straggler_cluster(
+            policy=policy, cpu_speed=0.12, straggler_factor=0.3
+        )
+        point = flash_point(
+            cluster, clients=300, surge_clients=600,
+            duration=4.0, warmup=3.0, seed=42, decay=1.5,
+        )
+        metrics = point.experiment().run()
+        assert metrics.replies > 0
+        p99[policy] = metrics.response_time_p99
+    assert p99["least_connections"] < p99["round_robin"]
+
+
+# -- rolling restart ----------------------------------------------------------
+
+def test_rolling_restart_invariants():
+    cluster = uniform_cluster(n=3, cpu_speed=0.3)
+    point = restart_point(
+        cluster, clients=60, rid="r1", duration=5.0, warmup=2.0, seed=42,
+    )
+    assert point.restart.drain_at < point.restart.down_at
+    metrics = point.experiment().run()
+    stats = metrics.server_stats
+    # The tier keeps serving through the whole cycle...
+    assert metrics.replies > 0
+    # ...no new connection is ever routed to the drained/downed replica...
+    assert stats["restart.picks_after_drain"] == 0
+    assert stats["lb.routed_unavailable"] == 0
+    # ...and going down resets whatever was still open on it.
+    assert stats["restart.connections_killed"] > 0
+    assert stats["restart.rid"] == "r1"
+
+
+def test_restart_rid_must_exist():
+    from repro.cluster import ClusterPointSpec, RollingRestartSpec
+    from repro.core import WorkloadSpec
+
+    with pytest.raises(ValueError, match="nope"):
+        ClusterPointSpec(
+            cluster=uniform_cluster(n=2),
+            workload=WorkloadSpec(clients=10, duration=3.0, warmup=2.0),
+            restart=RollingRestartSpec(
+                rid="nope", drain_at=2.5, down_at=3.0, up_at=3.5
+            ),
+        )
+
+
+# -- slowloris ----------------------------------------------------------------
+
+def _loris_cluster(overload=None):
+    server = ServerSpec.httpd(pool=8, idle_timeout=2.0)
+    if overload is not None:
+        server = dataclasses.replace(server, overload=overload)
+    return uniform_cluster(n=2, server=server, cpu_speed=0.3)
+
+
+def test_slowloris_holds_connections_until_reaped():
+    point = slowloris_point(
+        _loris_cluster(), clients=30, attack_weight=0.5,
+        duration=6.0, warmup=3.0, seed=42,
+    )
+    assert point.provenance()["scenario"] == "cluster-adversarial"
+    metrics = point.experiment().run()
+    stats = metrics.server_stats
+    assert stats["attack.clients"] == 10  # weight 0.5 vs the legit 1.0
+    assert stats["attack.connects"] > 0
+    # The 2 s idle reaper fires well inside the run: held connections
+    # get reset and the adversaries reconnect.
+    assert stats["attack.reaped"] > 0
+    # Legitimate traffic still completes despite the pinned workers.
+    assert metrics.replies > 0
+
+
+def test_slowloris_with_admission_policy_sheds():
+    overload = OverloadControl(admission=TokenBucket(rate=5.0, burst=4.0))
+    point = slowloris_point(
+        _loris_cluster(overload), clients=30, attack_weight=0.5,
+        duration=6.0, warmup=3.0, seed=42,
+    )
+    metrics = point.experiment().run()
+    stats = metrics.server_stats
+    # The tight bucket sheds cluster-wide (summed across replicas) and
+    # the per-replica rows carry their own shares.
+    assert stats["requests_shed"] > 0
+    assert stats["requests_shed"] == (
+        stats["replica.r0.requests_shed"] + stats["replica.r1.requests_shed"]
+    )
