@@ -5,6 +5,7 @@ Commands
 run      one experiment (server x machine x network x clients)
 sweep    a client-count sweep for one server configuration
 cluster  a replica tier behind a load balancer (steady/flash/slowloris/restart)
+trace    one observed cluster run: causal traces, attribution, SLO alerts
 figure   regenerate one paper figure (1-10) and print its tables
 figures  regenerate every paper figure (optionally in parallel / to JSON)
 observe  run one instrumented experiment and print the span report
@@ -29,6 +30,8 @@ Examples
         --scenario flash --surge-clients 600
     python -m repro cluster --scenario restart --clients 150 --stats
     python -m repro cluster --cache-mb 64 --cache-sweep 1,4,16,64
+    python -m repro trace --scenario restart --clients 32 --duration 6 \\
+        --warmup 2 --policy least_connections --slo --top 3
     python -m repro cache ls
     python -m repro cache gc --older-than 7d
     python -m repro bench --profile quick --jobs 0
@@ -372,20 +375,17 @@ def _cluster_overload(args: argparse.Namespace):
     )
 
 
-def cmd_cluster(args: argparse.Namespace) -> int:
-    """Run a replica tier behind a load balancer."""
+def _cluster_parts(args: argparse.Namespace):
+    """(ClusterSpec, flash, restart) for the cluster/trace flag set."""
     import dataclasses as dc
 
     from .cluster import (
         BalancerSpec,
         CacheSpec,
-        ClusterPointSpec,
         ClusterSpec,
         FlashCrowdSpec,
         ReplicaSpec,
         RollingRestartSpec,
-        hit_rate_sweep,
-        sweep_cluster,
     )
 
     if args.mix:
@@ -434,21 +434,6 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         **kwargs,
     )
 
-    if args.cache_sweep:
-        from .http.files import FilePopulation
-
-        files = FilePopulation.shared(args.seed, n_files=2000)
-        capacities = [
-            int(float(mb) * 1024 * 1024)
-            for mb in args.cache_sweep.split(",")
-        ]
-        print("LRU capacity vs hit rate (SURGE population, "
-              f"seed {args.seed}):")
-        for capacity, rate in hit_rate_sweep(files, capacities, args.seed):
-            print(f"  {capacity / (1024 * 1024):8.1f} MB: "
-                  f"{rate * 100:5.1f}% hits")
-        return 0
-
     flash = None
     restart = None
     if args.scenario == "flash":
@@ -481,7 +466,29 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             ),
             warm_s=args.warm_s,
         )
+    return cluster, flash, restart
 
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    """Run a replica tier behind a load balancer."""
+    from .cluster import hit_rate_sweep, sweep_cluster
+
+    if args.cache_sweep:
+        from .http.files import FilePopulation
+
+        files = FilePopulation.shared(args.seed, n_files=2000)
+        capacities = [
+            int(float(mb) * 1024 * 1024)
+            for mb in args.cache_sweep.split(",")
+        ]
+        print("LRU capacity vs hit rate (SURGE population, "
+              f"seed {args.seed}):")
+        for capacity, rate in hit_rate_sweep(files, capacities, args.seed):
+            print(f"  {capacity / (1024 * 1024):8.1f} MB: "
+                  f"{rate * 100:5.1f}% hits")
+        return 0
+
+    cluster, flash, restart = _cluster_parts(args)
     clients = [int(c) for c in args.clients.split(",")]
     store = _mounted_store(args)
     result = sweep_cluster(
@@ -519,12 +526,92 @@ def cmd_cluster(args: argparse.Namespace) -> int:
                 k: v
                 for k, v in sorted(stats.items())
                 if k.split(".")[0] in
-                ("lb", "cache", "wan", "attack", "restart")
-                or k in ("tombstones_compacted", "requests_shed")
+                ("lb", "cache", "wan", "attack", "restart",
+                 "trace", "slo", "obs")
+                or k in ("tombstones_compacted", "requests_shed",
+                         "samples_dropped", "spans_unfinished")
             }
             for key, value in extras.items():
                 print(f"{key:>32s}: {value}")
     _print_cache_summary(store)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """One observed cluster run: attribution, waterfalls, SLO summary."""
+    import dataclasses as dc
+    import json
+
+    from .cluster import ClusterPointSpec
+    from .obs import (
+        attribution_summary,
+        default_slos,
+        render_waterfall,
+        traces_to_chrome_trace,
+        traces_to_jsonl,
+    )
+
+    cluster, flash, restart = _cluster_parts(args)
+    cluster = dc.replace(
+        cluster, observe=True, slos=default_slos() if args.slo else ()
+    )
+    clients = int(args.clients.split(",")[0])
+    point = ClusterPointSpec(
+        cluster=cluster,
+        workload=WorkloadSpec(
+            clients=clients, duration=args.duration, warmup=args.warmup
+        ),
+        seed=args.seed,
+        flash=flash,
+        restart=restart,
+    )
+    experiment = point.experiment()
+    metrics = experiment.run()
+    telemetry = experiment.telemetry
+    tracer = telemetry.tracer
+
+    print(
+        f"{cluster.label} | {clients} clients | {args.scenario}: "
+        f"{metrics.throughput_rps:.1f} replies/s, "
+        f"p99 {metrics.response_time_p99 * 1e3:.1f} ms"
+    )
+    print(
+        f"traces: {tracer.recorded} recorded, {tracer.dropped} evicted "
+        f"from the ring, {len(tracer)} retained"
+    )
+    summary = attribution_summary(tracer.traces)
+    total = sum(summary.values())
+    print("\n-- per-tier time attribution (retained traces) -------------")
+    for tier, seconds in sorted(summary.items(), key=lambda kv: -kv[1]):
+        share = (seconds / total * 100.0) if total > 0 else 0.0
+        print(f"  {tier:>8s}: {seconds:10.4f} s  ({share:5.1f}%)")
+    slowest = tracer.slowest(args.top)
+    if slowest:
+        print(f"\n-- {len(slowest)} slowest requests -----------------------------")
+        for trace in slowest:
+            print(render_waterfall(trace))
+            print()
+    for monitor in telemetry.monitors:
+        spec = monitor.spec
+        line = (
+            f"slo {spec.name} ({spec.kind}): {monitor.events} events, "
+            f"{monitor.bad_events} bad, {len(monitor.alerts)} alert(s)"
+        )
+        for alert in monitor.alerts:
+            line += f"; fired at t={alert.fired_at:.3f}s"
+            if alert.resolved_at is not None:
+                line += f", resolved t={alert.resolved_at:.3f}s"
+        print(line)
+    if args.jsonl:
+        with open(args.jsonl, "w") as fh:
+            fh.write(traces_to_jsonl(tracer.traces))
+        print(f"\nwrote {len(tracer)} traces to {args.jsonl}")
+    if args.chrome:
+        with open(args.chrome, "w") as fh:
+            json.dump(traces_to_chrome_trace(slowest), fh)
+        print(f"wrote Chrome trace of the {len(slowest)} slowest "
+              f"requests to {args.chrome} (chrome://tracing or "
+              f"ui.perfetto.dev)")
     return 0
 
 
@@ -718,87 +805,111 @@ def build_parser() -> argparse.ArgumentParser:
     _add_store(p_sweep)
     p_sweep.set_defaults(fn=cmd_sweep)
 
+    def _add_cluster_flags(p: argparse.ArgumentParser) -> None:
+        """Flags shared by the ``cluster`` and ``trace`` subcommands."""
+        p.add_argument(
+            "--replicas", type=int, default=3, metavar="N",
+            help="number of identical replicas (ignored with --mix)",
+        )
+        p.add_argument(
+            "--mix", default=None, metavar="SPEC",
+            help="heterogeneous replicas: 'kind:threads[@cpu_speed],...' "
+                 "e.g. 'nio:1,nio:1,httpd:512@0.5'",
+        )
+        p.add_argument(
+            "--server", choices=("nio", "httpd", "staged", "amped"),
+            default="nio",
+        )
+        p.add_argument("--threads", type=int, default=1)
+        p.add_argument(
+            "--cpu-speed", type=float, default=0.35,
+            help="per-replica CPU speed (fraction of the paper's SUT; "
+                 "default deliberately under-provisioned)",
+        )
+        p.add_argument(
+            "--policy",
+            choices=("round_robin", "least_connections", "consistent_hash"),
+            default="round_robin",
+        )
+        p.add_argument("--vnodes", type=int, default=64,
+                       help="consistent_hash: vnodes per replica")
+        p.add_argument("--hot-fraction", type=float, default=0.0,
+                       help="consistent_hash: hot-key skew fraction")
+        p.add_argument("--hot-keys", type=int, default=8,
+                       help="consistent_hash: hot key set size")
+        p.add_argument("--cache-mb", type=int, default=0,
+                       help="mount an LRU front cache of this size")
+        p.add_argument(
+            "--classes", default=None, metavar="SPEC",
+            help="WAN classes: 'name:weight:bw_mbps:rtt_ms:loss[:adversary]"
+                 ";...' e.g. 'dsl:1:8:60:0.02;lan:1:1000:1:0'",
+        )
+        p.add_argument(
+            "--scenario",
+            choices=("steady", "flash", "slowloris", "restart"),
+            default="steady",
+        )
+        p.add_argument("--surge-clients", type=int, default=600)
+        p.add_argument("--surge-at", type=float, default=None,
+                       help="flash: absolute surge time (default "
+                            "warmup + 25%% of duration)")
+        p.add_argument("--surge-decay", type=float, default=1.5)
+        p.add_argument("--attack-weight", type=float, default=0.5,
+                       help="slowloris: attack class weight vs the "
+                            "legit class's 1.0")
+        p.add_argument("--restart-rid", default=None)
+        p.add_argument("--drain-at", type=float, default=None)
+        p.add_argument("--down-at", type=float, default=None)
+        p.add_argument("--up-at", type=float, default=None)
+        p.add_argument("--warm-s", type=float, default=3.0)
+        p.add_argument(
+            "--admission", choices=("none", "token-bucket", "codel"),
+            default="none", help="per-replica admission policy",
+        )
+        p.add_argument("--rate", type=float, default=520.0,
+                       help="token-bucket: admitted conn/s per replica")
+        p.add_argument("--duration", type=float, default=10.0)
+        p.add_argument("--warmup", type=float, default=16.0)
+        p.add_argument("--seed", type=int, default=42)
+
     p_cluster = sub.add_parser(
         "cluster",
         help="run a replica tier behind a load balancer "
              "(steady/flash/slowloris/restart scenarios)",
     )
-    p_cluster.add_argument(
-        "--replicas", type=int, default=3, metavar="N",
-        help="number of identical replicas (ignored with --mix)",
-    )
-    p_cluster.add_argument(
-        "--mix", default=None, metavar="SPEC",
-        help="heterogeneous replicas: 'kind:threads[@cpu_speed],...' "
-             "e.g. 'nio:1,nio:1,httpd:512@0.5'",
-    )
-    p_cluster.add_argument(
-        "--server", choices=("nio", "httpd", "staged", "amped"),
-        default="nio",
-    )
-    p_cluster.add_argument("--threads", type=int, default=1)
-    p_cluster.add_argument(
-        "--cpu-speed", type=float, default=0.35,
-        help="per-replica CPU speed (fraction of the paper's SUT; "
-             "default deliberately under-provisioned)",
-    )
-    p_cluster.add_argument(
-        "--policy",
-        choices=("round_robin", "least_connections", "consistent_hash"),
-        default="round_robin",
-    )
-    p_cluster.add_argument("--vnodes", type=int, default=64,
-                           help="consistent_hash: vnodes per replica")
-    p_cluster.add_argument("--hot-fraction", type=float, default=0.0,
-                           help="consistent_hash: hot-key skew fraction")
-    p_cluster.add_argument("--hot-keys", type=int, default=8,
-                           help="consistent_hash: hot key set size")
-    p_cluster.add_argument("--cache-mb", type=int, default=0,
-                           help="mount an LRU front cache of this size")
+    _add_cluster_flags(p_cluster)
     p_cluster.add_argument(
         "--cache-sweep", default=None, metavar="MB,MB,...",
         help="print the capacity-vs-hit-rate curve and exit",
     )
-    p_cluster.add_argument(
-        "--classes", default=None, metavar="SPEC",
-        help="WAN classes: 'name:weight:bw_mbps:rtt_ms:loss[:adversary]"
-             ";...' e.g. 'dsl:1:8:60:0.02;lan:1:1000:1:0'",
-    )
-    p_cluster.add_argument(
-        "--scenario",
-        choices=("steady", "flash", "slowloris", "restart"),
-        default="steady",
-    )
-    p_cluster.add_argument("--surge-clients", type=int, default=600)
-    p_cluster.add_argument("--surge-at", type=float, default=None,
-                           help="flash: absolute surge time (default "
-                                "warmup + 25%% of duration)")
-    p_cluster.add_argument("--surge-decay", type=float, default=1.5)
-    p_cluster.add_argument("--attack-weight", type=float, default=0.5,
-                           help="slowloris: attack class weight vs the "
-                                "legit class's 1.0")
-    p_cluster.add_argument("--restart-rid", default=None)
-    p_cluster.add_argument("--drain-at", type=float, default=None)
-    p_cluster.add_argument("--down-at", type=float, default=None)
-    p_cluster.add_argument("--up-at", type=float, default=None)
-    p_cluster.add_argument("--warm-s", type=float, default=3.0)
-    p_cluster.add_argument(
-        "--admission", choices=("none", "token-bucket", "codel"),
-        default="none", help="per-replica admission policy",
-    )
-    p_cluster.add_argument("--rate", type=float, default=520.0,
-                           help="token-bucket: admitted conn/s per replica")
     p_cluster.add_argument("--clients", default="150,300",
                            help="comma-separated client counts")
-    p_cluster.add_argument("--duration", type=float, default=10.0)
-    p_cluster.add_argument("--warmup", type=float, default=16.0)
-    p_cluster.add_argument("--seed", type=int, default=42)
     p_cluster.add_argument("--stats", action="store_true",
                            help="also print per-replica and front-end "
-                                "counters")
+                                "counters (incl. trace/slo/obs extras)")
     _add_jobs(p_cluster)
     _add_store(p_cluster)
     p_cluster.set_defaults(fn=cmd_cluster)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run one observed cluster point and print causal traces: "
+             "per-tier attribution, slowest-request waterfalls, SLOs",
+    )
+    _add_cluster_flags(p_trace)
+    p_trace.add_argument("--clients", default="150",
+                         help="client count (first entry if a list)")
+    p_trace.add_argument("--top", type=int, default=3,
+                         help="render waterfalls of the N slowest requests")
+    p_trace.add_argument("--slo", action="store_true",
+                         help="mount the stock availability+latency SLOs "
+                              "and report burn-rate alerts")
+    p_trace.add_argument("--jsonl", metavar="FILE",
+                         help="dump every retained trace as JSONL")
+    p_trace.add_argument("--chrome", metavar="FILE",
+                         help="dump the slowest traces as Chrome "
+                              "trace_event JSON")
+    p_trace.set_defaults(fn=cmd_trace)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
     p_fig.add_argument("number", type=int, help="paper figure number (1-10)")

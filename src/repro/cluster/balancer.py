@@ -95,6 +95,10 @@ class LoadBalancer:
         self.picks = 0
         self.no_replica = 0
         self.routed_unavailable = 0
+        #: Optional :class:`~repro.cluster.telemetry.ClusterTelemetry`:
+        #: picks and state transitions feed the time series and the
+        #: figure's replica-state bands.  Assigned by the experiment.
+        self.telemetry = None
         #: rid -> [warm_start, warm_duration, credit] while WARMING.
         self._warming: Dict[str, List[float]] = {}
         #: rid -> picks_by_rid value at the moment the rid started
@@ -126,6 +130,8 @@ class LoadBalancer:
             if warm_s <= 0:
                 raise ValueError("WARMING needs warm_s > 0")
             self._warming[rid] = [self.clock(), warm_s, 0.0]
+        if self.telemetry is not None:
+            self.telemetry.on_state(self.clock(), rid, state)
 
     def _eligible(self) -> List:
         """Routable replicas right now, in rid order.
@@ -144,6 +150,8 @@ class LoadBalancer:
                 if now >= start + duration:
                     self.state[replica.rid] = UP
                     del self._warming[replica.rid]
+                    if self.telemetry is not None:
+                        self.telemetry.on_state(now, replica.rid, UP)
                     out.append(replica)
                     continue
                 # Error-diffusion admission: eligible on the picks where
@@ -174,6 +182,8 @@ class LoadBalancer:
         self.picks += 1
         if not eligible:
             self.no_replica += 1
+            if self.telemetry is not None:
+                self.telemetry.on_pick(self.clock(), None)
             return None
         replica = self._select(eligible, key)
         rid = replica.rid
@@ -184,6 +194,8 @@ class LoadBalancer:
         self.open_conns[rid] = opened
         if opened > self.open_peak[rid]:
             self.open_peak[rid] = opened
+        if self.telemetry is not None:
+            self.telemetry.on_pick(self.clock(), rid)
         return replica
 
     def release(self, replica) -> None:

@@ -75,12 +75,16 @@ class FanoutMetrics:
     tier, sessions are an aggregate-only concept.
     """
 
-    __slots__ = ("aggregate", "registry", "tier")
+    __slots__ = ("aggregate", "registry", "tier", "telemetry")
 
     def __init__(self, aggregate: MetricsHub, registry: Registry) -> None:
         self.aggregate = aggregate
         self.registry = registry
         self.tier: Optional[TierMetrics] = None
+        #: Optional :class:`~repro.cluster.telemetry.ClusterTelemetry`:
+        #: replies/errors/connections also feed the time-series and SLO
+        #: monitors (pure bookkeeping — pay-for-use).
+        self.telemetry = None
 
     def record_reply(
         self, response_time: float, ttfb: float, nbytes: int
@@ -97,18 +101,35 @@ class FanoutMetrics:
                 self.tier.registry.histogram("response_time_s").observe(
                     response_time
                 )
+        if self.telemetry is not None:
+            self.telemetry.on_reply(
+                self.aggregate.sim.now,
+                response_time,
+                self.tier.name if self.tier is not None else "?",
+            )
 
     def record_error(self, kind: str) -> None:
         """One failed interaction, mirrored into the serving tier."""
         self.aggregate.record_error(kind)
         if self.tier is not None:
             self.tier.hub.record_error(kind)
+        if self.telemetry is not None:
+            self.telemetry.on_error(
+                self.aggregate.sim.now,
+                kind,
+                self.tier.name if self.tier is not None else None,
+            )
 
     def record_connection(self, connection_time: float) -> None:
         """One established connection, mirrored into the serving tier."""
         self.aggregate.record_connection(connection_time)
         if self.tier is not None:
             self.tier.hub.record_connection(connection_time)
+        if self.telemetry is not None:
+            self.telemetry.on_connection(
+                self.aggregate.sim.now,
+                self.tier.name if self.tier is not None else None,
+            )
 
     def record_session(self) -> None:
         """One completed session (an aggregate-only concept)."""
@@ -143,6 +164,8 @@ class ClusterClient(EmulatedClient):
         cache: Optional[LruCache] = None,
         cache_tier: Optional[TierMetrics] = None,
         sessions_limit: Optional[int] = None,
+        telemetry=None,
+        wan_class: str = "",
     ) -> None:
         super().__init__(
             sim, index, None, duplex, workload, metrics, rng, config
@@ -152,6 +175,11 @@ class ClusterClient(EmulatedClient):
         self.cache = cache
         self.cache_tier = cache_tier
         self.sessions_limit = sessions_limit
+        #: Optional :class:`~repro.cluster.telemetry.ClusterTelemetry`;
+        #: its tracer learns each connection's route and cache hits.
+        self.telemetry = telemetry
+        self.tracer = telemetry.tracer if telemetry is not None else None
+        self.wan_class = wan_class
 
     # ------------------------------------------------------------------
     def run(self, start_delay: float = 0.0):
@@ -185,6 +213,8 @@ class ClusterClient(EmulatedClient):
         conn = Connection(self.sim, self.duplex, replica.listener)
         if conn.span is not None:
             conn.span.mark("routed")
+            if self.tracer is not None:
+                self.tracer.register(conn.span, replica.rid, self.wan_class)
         try:
             conn_time = yield from conn.connect(self.config.client_timeout)
         except ConnectTimeout:
@@ -231,8 +261,10 @@ class ClusterClient(EmulatedClient):
         """Generator: answer ``request`` at the cache box (it is a hit)."""
         t0 = self.sim.now
         yield self.duplex.up.transmit(request.wire_bytes)
+        t_arrive = self.sim.now
         if self.cache.hit_service_s > 0.0:
             yield self.sim.timeout(self.cache.hit_service_s)
+        t_service = self.sim.now
         total = request.total_response_wire_bytes
         first = min(_FIRST_SEGMENT_BYTES, total)
         yield self.duplex.down.transmit(first)
@@ -241,6 +273,12 @@ class ClusterClient(EmulatedClient):
             yield self.duplex.down.transmit(total - first)
         saved = self.metrics.tier
         self.metrics.tier = self.cache_tier
+        if self.tracer is not None:
+            # Same event as record_reply: the trace's timestamps are the
+            # identical floats the response-time measurement uses.
+            self.tracer.record_cache_hit(
+                self.wan_class, t0, t_arrive, t_service, self.sim.now
+            )
         self.metrics.record_reply(self.sim.now - t0, ttfb, total)
         self.metrics.tier = saved
 
@@ -252,11 +290,13 @@ class ClusterClient(EmulatedClient):
         for group_index, group in enumerate(plan.groups):
             misses = []
             for request in group:
-                if (
-                    self.cache is not None
-                    and request.file_id is not None
-                    and self.cache.lookup(request.file_id)
-                ):
+                cacheable = (
+                    self.cache is not None and request.file_id is not None
+                )
+                hit = cacheable and self.cache.lookup(request.file_id)
+                if cacheable and self.telemetry is not None:
+                    self.telemetry.on_cache_lookup(self.sim.now, hit)
+                if hit:
                     yield from self._serve_from_cache(request)
                 else:
                     misses.append(request)
@@ -428,6 +468,7 @@ class ClusterLoadGenerator:
         cache: Optional[LruCache] = None,
         cache_tier: Optional[TierMetrics] = None,
         flash: Optional[FlashCrowdSpec] = None,
+        telemetry=None,
     ) -> None:
         if n_clients < 1:
             raise ValueError("need at least one client")
@@ -443,6 +484,7 @@ class ClusterLoadGenerator:
         self.cache = cache
         self.cache_tier = cache_tier
         self.flash = flash
+        self.telemetry = telemetry
         self.clients: List[ClusterClient] = []
         self.attackers: List[SlowlorisClient] = []
 
@@ -472,6 +514,8 @@ class ClusterLoadGenerator:
             cache=self.cache,
             cache_tier=self.cache_tier,
             sessions_limit=sessions_limit,
+            telemetry=self.telemetry,
+            wan_class=spec.name,
         )
         self.clients.append(client)
         self.sim.process(client.run(start_delay=offset), name=f"client-{i}")

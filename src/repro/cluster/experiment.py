@@ -119,6 +119,9 @@ class ClusterExperiment:
         self.aggregate_registry: Optional[Registry] = None
         self.balancer: Optional[LoadBalancer] = None
         self.recorder = None
+        #: The :class:`~repro.cluster.telemetry.ClusterTelemetry` when
+        #: the spec says ``observe=True`` (tracer, series, SLOs).
+        self.telemetry = None
 
     # ------------------------------------------------------------------
     def _build_replica(
@@ -135,6 +138,11 @@ class ClusterExperiment:
             costs=rspec.machine.base_costs(),
             backlog=rspec.server.backlog,
             recorder=recorder,
+            probe=(
+                self.telemetry.probe(rspec.rid)
+                if self.telemetry is not None
+                else None
+            ),
         )
         server_spec = rspec.server
         if server_spec.overload is not None:
@@ -183,9 +191,12 @@ class ClusterExperiment:
         sim = Simulator()
         streams = RandomStreams(self.seed)
         if self.cluster.observe:
-            from ..obs import SpanRecorder
+            from .telemetry import ClusterTelemetry
 
-            self.recorder = SpanRecorder(clock=lambda: sim.now)
+            self.telemetry = ClusterTelemetry(
+                sim, self.seed, slos=self.cluster.slos
+            )
+            self.recorder = self.telemetry.recorder
 
         runtimes = [
             self._build_replica(sim, rspec, streams, self.recorder)
@@ -195,6 +206,7 @@ class ClusterExperiment:
         balancer = make_balancer(
             self.cluster.balancer, runtimes, clock=lambda: sim.now
         )
+        balancer.telemetry = self.telemetry
         self.balancer = balancer
 
         cache = None
@@ -241,6 +253,7 @@ class ClusterExperiment:
         aggregate_registry = Registry()
         self.aggregate_registry = aggregate_registry
         metrics = FanoutMetrics(aggregate_hub, aggregate_registry)
+        metrics.telemetry = self.telemetry
 
         for runtime in runtimes:
             runtime.server.start()
@@ -258,6 +271,7 @@ class ClusterExperiment:
             cache=cache,
             cache_tier=cache_tier,
             flash=self.flash,
+            telemetry=self.telemetry,
         )
         generator.start(ramp=self.workload.effective_ramp)
 
@@ -315,6 +329,11 @@ class ClusterExperiment:
             )
             aggregate_stats[prefix + "reset_rate"] = row.connection_reset_rate
             aggregate_stats[prefix + "cpu_utilization"] = row.cpu_utilization
+            # Satellite: reservoir truncation was silently lost at the
+            # FanoutMetrics merge — surface it per replica and in total.
+            aggregate_stats[prefix + "samples_dropped"] = (
+                rt.metrics.hub.samples_dropped
+            )
             for key in summed:
                 value = server_stats.get(key)
                 if value is not None:
@@ -335,9 +354,13 @@ class ClusterExperiment:
             aggregate_stats["restart.picks_after_drain"] = (
                 balancer.picks_after_drain(self.restart.rid)
             )
+        aggregate_stats["samples_dropped"] = aggregate_hub.samples_dropped
         if cache is not None:
             aggregate_stats.update(cache.stats())
             aggregate_stats["cache.replies"] = cache_tier.hub.replies
+            aggregate_stats["cache.samples_dropped"] = (
+                cache_tier.hub.samples_dropped
+            )
         for name, duplex in class_links.items():
             aggregate_stats[f"wan.{name}.bytes_down"] = duplex.down.bytes_sent
             aggregate_stats[f"wan.{name}.bytes_up"] = duplex.up.bytes_sent
@@ -356,6 +379,10 @@ class ClusterExperiment:
             aggregate_stats["obs_service_share"] = round(
                 breakdown["service_share"], 6
             )
+        if self.telemetry is not None:
+            # After the recorder flush above, so end-of-run harvested
+            # spans are included in the trace counters.
+            aggregate_stats.update(self.telemetry.stats())
 
         cluster_util = min(
             1.0, total_busy / total_capacity if total_capacity else 0.0

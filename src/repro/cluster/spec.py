@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from ..core.params import ServerSpec, WorkloadSpec
+from ..obs.slo import SloSpec
 from ..osmodel.machine import MachineSpec
 
 __all__ = [
@@ -159,13 +160,22 @@ class ClusterSpec:
     balancer: BalancerSpec = BalancerSpec()
     cache: Optional[CacheSpec] = None
     classes: Tuple[ClientClassSpec, ...] = (ClientClassSpec("wan"),)
-    #: Mount a shared :class:`~repro.obs.SpanRecorder` across all replica
-    #: listeners, so spans cover client -> balancer -> replica end to end.
+    #: Mount the full :class:`~repro.cluster.telemetry.ClusterTelemetry`
+    #: (shared span recorder + causal tracer + time series + SLO
+    #: monitors) across all replica listeners, so observability covers
+    #: client -> balancer -> cache -> replica end to end.  Pay-for-use:
+    #: RunMetrics stay byte-identical either way.
     observe: bool = False
+    #: Declarative SLOs evaluated in sim time (needs ``observe=True``).
+    slos: Tuple[SloSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.replicas:
             raise ValueError("cluster needs at least one replica")
+        if self.slos:
+            slo_names = [s.name for s in self.slos]
+            if len(set(slo_names)) != len(slo_names):
+                raise ValueError(f"duplicate SLO names: {sorted(slo_names)}")
         rids = [r.rid for r in self.replicas]
         if len(set(rids)) != len(rids):
             raise ValueError(f"duplicate replica rids: {sorted(rids)}")

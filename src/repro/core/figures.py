@@ -785,6 +785,137 @@ class FigureRunner:
             ),
         ]
 
+    def extension_cluster_timeline(self) -> List[FigureData]:
+        """Observability extension: the cluster timeline under stress.
+
+        One observed run — a 120-client flash crowd surging into the
+        straggler lc+cache cluster while replica r0 rolls through
+        drain/down/warming — rendered as time series instead of one
+        folded-up number.  Subfigure a is per-tier p99 response time per
+        0.5 s bin (the straggler's saturation and the restart hole are
+        visible *when* they happen); subfigure b overlays cluster
+        throughput, SYN shed rate, cache hit rate, and r0's availability
+        state (3=up 2=warming 1=draining 0=down).  The run mounts the
+        declarative SLOs, and the note pins the sim time the
+        availability burn-rate alert fired at.  A Chrome-trace sample of
+        the slowest requests is stashed on ``self.trace_sample`` for the
+        benchmark to write as a CI artifact.
+        """
+        import dataclasses
+        import math
+
+        from ..cluster import (
+            CacheSpec,
+            FlashCrowdSpec,
+            restart_point,
+            straggler_cluster,
+        )
+        from ..obs import default_slos, traces_to_chrome_trace
+
+        cluster = dataclasses.replace(
+            straggler_cluster(
+                policy="least_connections",
+                cache=CacheSpec(capacity_bytes=32 * 1024 * 1024),
+            ),
+            observe=True,
+            slos=default_slos(),
+        )
+        warmup, duration = 2.0, 6.0
+        point = restart_point(
+            cluster, clients=32, duration=duration, warmup=warmup,
+            seed=self.seed,
+        )
+        point = dataclasses.replace(
+            point,
+            flash=FlashCrowdSpec(at=2.6, surge_clients=120, decay=1.2),
+        )
+        if self.verbose:
+            print(
+                "[figures] running observed cluster timeline "
+                f"({cluster.label}, flash+restart)...",
+                file=sys.stderr,
+            )
+        experiment = point.experiment()
+        experiment.run()
+        telemetry = experiment.telemetry
+        horizon = warmup + duration
+        t1 = horizon
+        bin_w = telemetry.series.bin_width
+
+        def p99_ms(recorder):
+            _, values = recorder.quantile_series("response_time_s", 99, 0.0, t1)
+            # Empty bins read as nan; plot them as zero-height gaps.
+            return [0.0 if math.isnan(v) else v * 1e3 for v in values]
+
+        times, _ = telemetry.series.quantile_series(
+            "response_time_s", 99, 0.0, t1
+        )
+        bins = [int(t / bin_w) for t in times]
+        tier_p99 = [Series("cluster", bins, p99_ms(telemetry.series))]
+        for name in sorted(telemetry.tier_series):
+            tier_p99.append(
+                Series(name, bins, p99_ms(telemetry.tier_series[name]))
+            )
+
+        _, replies = telemetry.series.rate_series("replies", 0.0, t1)
+        _, sheds = telemetry.series.rate_series("syns_dropped", 0.0, t1)
+        _, hits = telemetry.series.rate_series("cache_hits", 0.0, t1)
+        _, lookups = telemetry.series.rate_series("cache_lookups", 0.0, t1)
+        hit_pct = [
+            (h / l) * 100.0 if l > 0 else 0.0 for h, l in zip(hits, lookups)
+        ]
+        level = {"up": 3.0, "warming": 2.0, "draining": 1.0, "down": 0.0}
+        rid = point.restart.rid
+        bands = telemetry.state_bands(rid, 0.0, t1)
+        states = []
+        for b in bins:
+            mid = (b + 0.5) * bin_w
+            # Bands tile [0, t1], so exactly one contains each bin centre.
+            states.append(
+                next(level[s] for s, lo, hi in bands if lo <= mid < hi)
+            )
+
+        alerts = [
+            (monitor.spec.name, alert.fired_at)
+            for monitor in telemetry.monitors
+            for alert in monitor.alerts
+        ]
+        if alerts:
+            slo_note = "; ".join(
+                f"SLO {name!r} fired at t={fired:.3f}s"
+                for name, fired in alerts
+            )
+        else:  # pragma: no cover - the pinned config always fires
+            slo_note = "no SLO alert fired"
+        self.trace_sample = traces_to_chrome_trace(
+            telemetry.tracer.slowest(8)
+        )
+        return [
+            FigureData(
+                "extCTa", "Cluster timeline: per-tier p99 under stress",
+                f"sim time ({bin_w:g} s bins)", "p99 ms",
+                tier_p99,
+                notes=(
+                    f"flash crowd at t=2.6s, {rid} drains 3.2s / down 4.4s "
+                    f"/ warms 5.6s; {slo_note}"
+                ),
+            ),
+            FigureData(
+                "extCTb", "Cluster timeline: throughput, shed, cache, state",
+                f"sim time ({bin_w:g} s bins)", "mixed",
+                [
+                    Series("replies/s", bins, replies),
+                    Series("sheds/s", bins, sheds),
+                    Series("cache hit %", bins, hit_pct),
+                    Series(f"{rid} state", bins, states),
+                ],
+                notes=(
+                    f"{rid} state levels: 3=up 2=warming 1=draining 0=down; "
+                    f"{slo_note}"
+                ),
+            ),
+        ]
+
     # -- everything ---------------------------------------------------------
     def all_figures(self) -> Dict[str, List[FigureData]]:
         """Every paper figure (1-10) in order."""

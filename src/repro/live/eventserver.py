@@ -17,7 +17,7 @@ import time
 from typing import Optional
 
 from ..http.parser import ParseError, RequestParser, render_response_head
-from ..obs import Registry, SpanRecorder
+from ..obs import Registry, SeriesRecorder, SpanRecorder, derive_trace_id
 from ..overload import OverloadControl, Signals
 from .docroot import DocRoot
 
@@ -45,6 +45,7 @@ class AsyncioEventServer:
         max_connections: int = 1024,
         registry: Optional[Registry] = None,
         recorder: Optional[SpanRecorder] = None,
+        series: Optional[SeriesRecorder] = None,
     ):
         self.docroot = docroot
         self.host = host
@@ -60,6 +61,11 @@ class AsyncioEventServer:
         self.registry = registry if registry is not None else Registry()
         #: Optional span recorder (wall-clock spans per connection).
         self.recorder = recorder
+        #: Optional windowed time series (binned on seconds since
+        #: start); its exposition is appended to /-/metrics, so a live
+        #: scrape yields the same series the cluster figures plot.
+        self.series = series
+        self._t0 = time.monotonic()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._thread: Optional[threading.Thread] = None
@@ -112,6 +118,9 @@ class AsyncioEventServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self.connections_accepted += 1
+        # Deterministic causal trace id per connection ordinal — the
+        # same derivation the cluster tracer uses for simulated runs.
+        trace_id = derive_trace_id(0, "live", self.connections_accepted)
         self.registry.counter("connections_accepted").inc()
         if self.overload is not None:
             signals = Signals(
@@ -148,7 +157,9 @@ class AsyncioEventServer:
                     )
                     break
                 for request in requests:
-                    keep = await self._respond(writer, request, span)
+                    keep = await self._respond(
+                        writer, request, span, trace_id
+                    )
                     if not keep:
                         return
         except (ConnectionResetError, BrokenPipeError):
@@ -161,13 +172,22 @@ class AsyncioEventServer:
             writer.close()
 
     async def _respond(
-        self, writer: asyncio.StreamWriter, request, span=None
+        self,
+        writer: asyncio.StreamWriter,
+        request,
+        span=None,
+        trace_id: str = "",
     ) -> bool:
+        headers = {"X-Trace-Id": trace_id} if trace_id else None
         if request.target == METRICS_PATH:
-            body = self.registry.prometheus_text().encode()
+            text = self.registry.prometheus_text()
+            if self.series is not None:
+                text += self.series.exposition_text()
+            body = text.encode()
             writer.write(
                 render_response_head(
-                    200, "OK", len(body), request.keep_alive
+                    200, "OK", len(body), request.keep_alive,
+                    extra_headers=headers,
                 )
             )
             writer.write(body)
@@ -182,13 +202,17 @@ class AsyncioEventServer:
             span.mark("tx_start")
         if body is None:
             writer.write(
-                render_response_head(404, "Not Found", 0, request.keep_alive)
+                render_response_head(
+                    404, "Not Found", 0, request.keep_alive,
+                    extra_headers=headers,
+                )
             )
             self.registry.counter("requests_not_found").inc()
         else:
             writer.write(
                 render_response_head(
-                    200, "OK", len(body), request.keep_alive
+                    200, "OK", len(body), request.keep_alive,
+                    extra_headers=headers,
                 )
             )
             writer.write(body)
@@ -197,9 +221,12 @@ class AsyncioEventServer:
         await writer.drain()
         if span is not None:
             span.mark("reply_done")
+        elapsed = time.monotonic() - t0
         self.requests_served += 1
         self.registry.counter("requests_served").inc()
-        self.registry.histogram("request_latency").observe(
-            time.monotonic() - t0
-        )
+        self.registry.histogram("request_latency").observe(elapsed)
+        if self.series is not None:
+            t = time.monotonic() - self._t0
+            self.series.inc("replies", t)
+            self.series.observe("response_time_s", t, elapsed)
         return request.keep_alive

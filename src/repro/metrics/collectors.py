@@ -183,6 +183,20 @@ class MetricsHub:
         t = self.sim.now if t is None else t
         return self.window_start <= t < self.window_end
 
+    @property
+    def samples_dropped(self) -> int:
+        """Observations the quantile reservoirs did not retain.
+
+        Nonzero means reported percentiles are estimates over a uniform
+        subsample; surfaced per replica in the cluster aggregate stats
+        so reservoir truncation is never silent.
+        """
+        return (
+            self.response_time.samples_dropped
+            + self.time_to_first_byte.samples_dropped
+            + self.connection_time.samples_dropped
+        )
+
     # -- recording ---------------------------------------------------------
     def record_reply(
         self, response_time: float, ttfb: float, nbytes: int

@@ -205,6 +205,11 @@ class Connection:
         if self.client_closed:
             raise SimulationError("send_request on closed connection")
         pending = PendingResponse(self.sim, request)
+        if self.span is not None:
+            # Same event as ``pending.sent_at`` — the mark's timestamp is
+            # the identical float the client measures response time from,
+            # which is what lets trace attribution sum exactly.
+            self.span.mark("req_sent")
         yield self.duplex.up.transmit(request.wire_bytes)
         if self.server_closed or self.dead:
             # The server answers with an RST segment.
@@ -456,6 +461,7 @@ class ListenSocket:
         overload=None,
         recorder=None,
         profiler=None,
+        probe=None,
     ) -> None:
         self.sim = sim
         self.machine = machine
@@ -469,6 +475,10 @@ class ListenSocket:
         #: Optional :class:`~repro.obs.PhaseProfiler` for kernel-side CPU
         #: (SYN reject cost).
         self.profiler = profiler
+        #: Optional listener probe (``on_drop(t)`` / ``on_enqueue(t,
+        #: depth)``): the cluster telemetry's per-replica shed-rate and
+        #: backlog-depth series.  Pure bookkeeping, pay-for-use.
+        self.probe = probe
         self._backlog = Store(sim, capacity=backlog)
         self.syns_received = 0
         self.syns_dropped = 0
@@ -527,6 +537,8 @@ class ListenSocket:
         ):
             self.syns_dropped += 1
             self.syns_shed += 1
+            if self.probe is not None:
+                self.probe.on_drop(self.sim.now)
             self._charge_reject()
             if self.tracer is not None:
                 self.tracer.emit(
@@ -535,6 +547,8 @@ class ListenSocket:
             return False
         if self._backlog.is_full and self._backlog.waiting_getters == 0:
             self.syns_dropped += 1
+            if self.probe is not None:
+                self.probe.on_drop(self.sim.now)
             self._charge_reject()
             if self.tracer is not None:
                 self.tracer.emit(
@@ -547,6 +561,8 @@ class ListenSocket:
             )
         except MemoryExhausted:
             self.syns_dropped += 1
+            if self.probe is not None:
+                self.probe.on_drop(self.sim.now)
             return False
         conn._kernel_bytes = self.kernel_bytes_per_conn
         conn._backlog_since = self.sim.now
@@ -557,6 +573,8 @@ class ListenSocket:
             conn.span.mark("backlog_enter")
         if self.backlog_depth > self.backlog_peak:
             self.backlog_peak = self.backlog_depth
+        if self.probe is not None:
+            self.probe.on_enqueue(self.sim.now, self.backlog_depth)
         return True
 
     def _admit_dequeued(self, conn: Connection) -> bool:

@@ -35,10 +35,26 @@ from .export import (
 from .hist import CounterMetric, GaugeMetric, LogHistogram, Registry
 from .profiler import PhaseProfiler
 from .report import format_phase_table, format_registry_table, render_timeline
+from .series import SeriesRecorder
+from .slo import SloAlert, SloMonitor, SloSpec, default_slos
 from .spans import (
     ConnSpan,
     SpanRecorder,
     phase_intervals,
+)
+from .trace import (
+    ClusterTracer,
+    RequestTrace,
+    TracingSpanRecorder,
+    attribution_summary,
+    derive_span_id,
+    derive_trace_id,
+    exact_partition,
+    render_waterfall,
+    request_traces_from_span,
+    traces_from_jsonl,
+    traces_to_chrome_trace,
+    traces_to_jsonl,
 )
 
 __all__ = [
@@ -50,6 +66,23 @@ __all__ = [
     "LogHistogram",
     "Registry",
     "PhaseProfiler",
+    "SeriesRecorder",
+    "SloSpec",
+    "SloAlert",
+    "SloMonitor",
+    "default_slos",
+    "ClusterTracer",
+    "RequestTrace",
+    "TracingSpanRecorder",
+    "attribution_summary",
+    "derive_trace_id",
+    "derive_span_id",
+    "exact_partition",
+    "request_traces_from_span",
+    "render_waterfall",
+    "traces_to_jsonl",
+    "traces_from_jsonl",
+    "traces_to_chrome_trace",
     "spans_to_jsonl",
     "spans_from_jsonl",
     "spans_to_chrome_trace",

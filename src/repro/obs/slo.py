@@ -1,0 +1,199 @@
+"""Declarative SLOs with multi-window burn-rate alerting in sim time.
+
+An SLO states an objective over served requests — "99.9% of requests
+succeed" (availability) or "95% of replies arrive within 250 ms"
+(latency).  The error *budget* is ``1 - objective``; the *burn rate*
+over a window is the observed bad fraction divided by the budget, so a
+burn of 1.0 spends the budget exactly on schedule and a burn of 10
+exhausts it ten times too fast.
+
+Alerting follows the multi-window pattern from the Google SRE workbook:
+an alert fires only when the burn rate exceeds the threshold in *both*
+a short window (is it happening right now?) and a long window (has it
+been happening long enough to matter?), which suppresses both stale
+alerts and one-bin blips.  It resolves when the short-window burn drops
+back below threshold.
+
+Everything is evaluated incrementally at event timestamps the cluster
+already produces — no polling, no scheduled simulator events, no RNG —
+so firing times are deterministic functions of the run spec and can be
+pinned in tests (the rolling-restart scenario does exactly that).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+__all__ = ["SloSpec", "SloAlert", "SloMonitor", "default_slos"]
+
+_KINDS = ("availability", "latency")
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One service-level objective and its alerting policy.
+
+    ``kind`` selects what counts as a *bad event*: for availability,
+    any error (reset, timeout, failed connect); for latency, a reply
+    slower than ``threshold_s`` (errors count as bad too — a request
+    that never completed certainly missed the deadline).
+    """
+
+    name: str
+    kind: str = "availability"
+    #: Target good fraction, e.g. 0.999 -> a 0.1% error budget.
+    objective: float = 0.999
+    #: Latency deadline (``kind="latency"`` only).
+    threshold_s: float = 0.25
+    short_window_s: float = 5.0
+    long_window_s: float = 30.0
+    #: Burn-rate multiple that must be exceeded in both windows.
+    burn_threshold: float = 10.0
+    #: Minimum events in each window before it can vote (suppresses
+    #: division-by-tiny-n noise at the start of a run).
+    min_events: int = 10
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("objective must be in (0, 1)")
+        if self.short_window_s <= 0 or self.long_window_s < self.short_window_s:
+            raise ValueError("windows must satisfy 0 < short <= long")
+
+
+@dataclass
+class SloAlert:
+    """One firing of an SLO's burn-rate alert."""
+
+    slo: str
+    fired_at: float
+    short_burn: float
+    long_burn: float
+    resolved_at: Optional[float] = None
+
+
+def default_slos() -> Tuple[SloSpec, ...]:
+    """The toolkit's stock SLO pair, shared by the timeline figure and
+    the ``trace`` CLI.
+
+    Windows are sized for the short simulated runs this repo measures
+    (seconds, not the SRE workbook's hours): a 1 s short window over a
+    4 s long window, with a 10x availability burn and a gentler 3x
+    latency burn on a 250 ms deadline.
+    """
+    return (
+        SloSpec(
+            "availability", "availability", objective=0.999,
+            short_window_s=1.0, long_window_s=4.0,
+            burn_threshold=10.0, min_events=20,
+        ),
+        SloSpec(
+            "latency-250ms", "latency", objective=0.9, threshold_s=0.25,
+            short_window_s=1.0, long_window_s=4.0,
+            burn_threshold=3.0, min_events=20,
+        ),
+    )
+
+
+class _Window:
+    """Sliding event window: (timestamp, good?) pairs plus a bad count."""
+
+    __slots__ = ("width", "events", "bad")
+
+    def __init__(self, width: float) -> None:
+        self.width = width
+        self.events: Deque[Tuple[float, bool]] = deque()
+        self.bad = 0
+
+    def add(self, t: float, good: bool) -> None:
+        self.events.append((t, good))
+        if not good:
+            self.bad += 1
+        cutoff = t - self.width
+        while self.events and self.events[0][0] <= cutoff:
+            _, was_good = self.events.popleft()
+            if not was_good:
+                self.bad -= 1
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def burn(self, budget: float) -> float:
+        if not self.events:
+            return 0.0
+        return (self.bad / len(self.events)) / budget
+
+
+class SloMonitor:
+    """Evaluates one :class:`SloSpec` over a stream of request outcomes."""
+
+    __slots__ = ("spec", "short", "long", "events", "bad_events", "alerts", "_active")
+
+    def __init__(self, spec: SloSpec) -> None:
+        self.spec = spec
+        self.short = _Window(spec.short_window_s)
+        self.long = _Window(spec.long_window_s)
+        self.events = 0
+        self.bad_events = 0
+        self.alerts: List[SloAlert] = []
+        self._active: Optional[SloAlert] = None
+
+    def record_reply(self, t: float, response_time: float) -> None:
+        """A request completed in ``response_time`` seconds at ``t``."""
+        good = (
+            self.spec.kind != "latency" or response_time <= self.spec.threshold_s
+        )
+        self._record(t, good)
+
+    def record_error(self, t: float, kind: str) -> None:
+        """A request failed (reset/timeout/...) at ``t`` — always bad."""
+        self._record(t, False)
+
+    def _record(self, t: float, good: bool) -> None:
+        self.events += 1
+        if not good:
+            self.bad_events += 1
+        self.short.add(t, good)
+        self.long.add(t, good)
+        budget = 1.0 - self.spec.objective
+        short_burn = self.short.burn(budget)
+        long_burn = self.long.burn(budget)
+        if self._active is None:
+            if (
+                len(self.short) >= self.spec.min_events
+                and len(self.long) >= self.spec.min_events
+                and short_burn >= self.spec.burn_threshold
+                and long_burn >= self.spec.burn_threshold
+            ):
+                self._active = SloAlert(
+                    slo=self.spec.name,
+                    fired_at=t,
+                    short_burn=short_burn,
+                    long_burn=long_burn,
+                )
+                self.alerts.append(self._active)
+        elif short_burn < self.spec.burn_threshold:
+            self._active.resolved_at = t
+            self._active = None
+
+    @property
+    def firing(self) -> bool:
+        return self._active is not None
+
+    def stats(self, prefix: str = "slo.") -> Dict[str, float]:
+        """Flat counters for the cluster-aggregate ``server_stats``."""
+        p = f"{prefix}{self.spec.name}."
+        out = {
+            p + "events": float(self.events),
+            p + "bad": float(self.bad_events),
+            p + "alerts": float(len(self.alerts)),
+        }
+        if self.alerts:
+            first = self.alerts[0]
+            out[p + "fired_at"] = first.fired_at
+            if first.resolved_at is not None:
+                out[p + "resolved_at"] = first.resolved_at
+        return out

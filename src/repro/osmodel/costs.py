@@ -51,6 +51,13 @@ class CostModel:
     dispatch: float = 9e-6
     #: Hand a unit of work between pipeline stages (staged servers).
     stage_handoff: float = 7e-6
+    #: One load-balancer routing decision (cluster front end).  The front
+    #: tier is modelled as uncapacitated, so this cost is attribution-only:
+    #: it lands in the PhaseProfiler ledger, never on a Machine.
+    balance: float = 5e-6
+    #: One front-cache LRU lookup (cluster front end; attribution-only,
+    #: same as :attr:`balance`).
+    cache_lookup: float = 4e-6
 
     def scaled(self, factor: float) -> "CostModel":
         """A copy with every cost multiplied by ``factor`` (e.g. JVM tax)."""
