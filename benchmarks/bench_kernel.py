@@ -29,13 +29,12 @@ def run_cpu_bursts(n):
     sim = Simulator()
     cpu = CPU(sim, nproc=2, smp_efficiency=1.0)
     done = [0]
+
+    def fin():
+        done[0] += 1
+
     for i in range(n):
-        sim.call_later(
-            i * 1e-4,
-            lambda: cpu.execute(5e-4).callbacks.append(
-                lambda _e: done.__setitem__(0, done[0] + 1)
-            ),
-        )
+        sim.call_later(i * 1e-4, cpu.execute_call, 5e-4, fin)
     sim.run()
     return done[0]
 

@@ -1,5 +1,6 @@
-"""Emit the performance-trajectory artifacts BENCH_kernel.json and
-BENCH_figures.json (see EXPERIMENTS.md for the format).
+"""Emit the performance-trajectory artifacts BENCH_kernel.json,
+BENCH_scale.json and BENCH_figures.json (see EXPERIMENTS.md for the
+format).
 
 Run as a script from the repo root::
 
@@ -45,6 +46,8 @@ def main(argv=None) -> int:
         argv += ["--kernel-out", str(REPO_ROOT / "BENCH_kernel.json")]
     if not any(a.startswith("--figures-out") for a in argv):
         argv += ["--figures-out", str(REPO_ROOT / "BENCH_figures.json")]
+    if not any(a.startswith("--scale-out") for a in argv):
+        argv += ["--scale-out", str(REPO_ROOT / "BENCH_scale.json")]
     return perf.main(argv)
 
 

@@ -44,6 +44,8 @@ BENCH_EVENTS = {
     "test_cpu_processor_sharing_station": ("cpu_bursts", 10_000),
     "test_link_fluid_transmissions": ("link_transmissions", 20_000),
     "test_kernel_idle_timeout_storm": ("idle_timeout_storm", 60_000),
+    # "events" here are population sessions (benchmarks/bench_scale.py).
+    "test_fluid_scale_smoke": ("scale_smoke", 50_000),
 }
 
 #: A bench fails only below this fraction of its floor (>30% regression).

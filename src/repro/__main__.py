@@ -19,6 +19,8 @@ Examples
 
     python -m repro run --server nio --threads 1 --clients 2400
     python -m repro run --server httpd --threads 4096 --cpus 4
+    python -m repro run --clients 1M --fluid --duration 10 --warmup 6
+    python -m repro sweep --clients 100k,250k,500k,1M --fluid
     python -m repro sweep --server nio --threads 2 --cpus 4 --jobs 4
     python -m repro sweep --server nio --threads 1 --reps 3:10 --ci 0.05
     python -m repro figure 3 --profile quick
@@ -64,6 +66,35 @@ _NETWORKS = {
 }
 
 
+def parse_clients(text: str) -> int:
+    """Client count with an optional k/M suffix: 600, 50k, 250k, 1M."""
+    units = {"k": 1_000, "m": 1_000_000}
+    raw = text.strip()
+    scale = units.get(raw[-1:].lower(), 1)
+    body = raw[:-1] if scale != 1 else raw
+    try:
+        count = int(round(float(body) * scale))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad client count {raw!r}; expected e.g. 600, 50k or 1M"
+        ) from None
+    if count < 1:
+        raise argparse.ArgumentTypeError("client count must be >= 1")
+    return count
+
+
+def _fluid_config(args: argparse.Namespace):
+    """The FluidConfig the flags ask for, or ``None`` (discrete clients)."""
+    if not args.fluid and args.fluid_budget is None:
+        return None
+    from .workload import FluidConfig
+
+    if args.fluid_budget is None:
+        return FluidConfig()
+    # --fluid-budget 0 = no cap: the population is always pinned discrete.
+    return FluidConfig(budget=args.fluid_budget or None)
+
+
 def _server_spec(args: argparse.Namespace) -> ServerSpec:
     return ServerSpec(
         kind=args.server,
@@ -100,6 +131,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--duration", type=float, default=10.0)
     parser.add_argument("--warmup", type=float, default=16.0)
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--fluid", action="store_true",
+        help="aggregated fluid client population (million-client scale "
+             "mode; equivalent to REPRO_FLUID=1)",
+    )
+    parser.add_argument(
+        "--fluid-budget", type=int, default=None, metavar="N",
+        help="fluid: cap on concurrently materialised client slots "
+             "(default 4096; 0 = uncapped, the population stays pinned "
+             "discrete)",
+    )
 
 
 def _add_jobs(parser: argparse.ArgumentParser) -> None:
@@ -177,7 +219,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     experiment = Experiment(
         server=_server_spec(args),
         workload=WorkloadSpec(
-            clients=args.clients, duration=args.duration, warmup=args.warmup
+            clients=args.clients, duration=args.duration,
+            warmup=args.warmup, fluid=_fluid_config(args),
         ),
         machine=scenario.machine,
         network=scenario.network,
@@ -218,7 +261,8 @@ def cmd_observe(args: argparse.Namespace) -> int:
     experiment = Experiment(
         server=spec,
         workload=WorkloadSpec(
-            clients=args.clients, duration=args.duration, warmup=args.warmup
+            clients=args.clients, duration=args.duration,
+            warmup=args.warmup, fluid=_fluid_config(args),
         ),
         machine=scenario.machine,
         network=scenario.network,
@@ -260,9 +304,10 @@ def cmd_observe(args: argparse.Namespace) -> int:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     scenario = _scenario(args)
-    clients = [int(c) for c in args.clients.split(",")]
+    clients = [parse_clients(c) for c in args.clients.split(",")]
     store = _mounted_store(args)
     server = _server_spec(args)
+    fluid = _fluid_config(args)
     if args.reps:
         # Adaptive replication: every client count measured at several
         # seeds until the CI half-width target (--ci) is met.
@@ -287,7 +332,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             PointSpec(
                 server=server,
                 workload=WorkloadSpec(
-                    clients=c, duration=args.duration, warmup=args.warmup
+                    clients=c, duration=args.duration,
+                    warmup=args.warmup, fluid=fluid,
                 ),
                 machine=scenario.machine,
                 network=scenario.network,
@@ -309,6 +355,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             duration=args.duration,
             warmup=args.warmup,
             seed=args.seed,
+            workload_overrides={"fluid": fluid} if fluid else None,
             jobs=args.jobs,
             store=store,
         )
@@ -668,6 +715,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     argv = [
         "--kernel-out", args.kernel_out,
         "--figures-out", args.figures_out,
+        "--scale-out", args.scale_out,
         "--label", args.label,
         "--profile", args.profile,
         "--jobs", str(args.jobs if args.jobs is not None else 0),
@@ -678,6 +726,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         argv += ["--store", args.store or default_store_dir()]
     if args.skip_figures:
         argv.append("--skip-figures")
+    if args.skip_scale:
+        argv.append("--skip-scale")
     if args.cprofile:
         return _run_profiled(lambda: perf.main(argv))
     return perf.main(argv)
@@ -760,7 +810,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_run = sub.add_parser("run", help="run one experiment")
     _add_common(p_run)
-    p_run.add_argument("--clients", type=int, default=2400)
+    p_run.add_argument("--clients", type=parse_clients, default=2400,
+                       help="client count; k/M suffixes allowed (250k, 1M)")
     p_run.add_argument("--stats", action="store_true",
                        help="also print server-side counters")
     p_run.add_argument("--trace", action="store_true",
@@ -776,7 +827,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="run one instrumented experiment and print the span report",
     )
     _add_common(p_obs)
-    p_obs.add_argument("--clients", type=int, default=2400)
+    p_obs.add_argument("--clients", type=parse_clients, default=2400,
+                       help="client count; k/M suffixes allowed (250k, 1M)")
     p_obs.add_argument("--slowest", type=int, default=3,
                        help="render timelines of the N slowest connections")
     p_obs.add_argument("--spans", metavar="FILE",
@@ -789,7 +841,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_sweep)
     p_sweep.add_argument(
         "--clients", default="60,1200,2400,3600,4800,6000",
-        help="comma-separated client counts",
+        help="comma-separated client counts; k/M suffixes allowed "
+             "(e.g. 100k,250k,500k,1M)",
     )
     p_sweep.add_argument(
         "--reps", metavar="MIN:MAX", default=None,
@@ -958,10 +1011,13 @@ def build_parser() -> argparse.ArgumentParser:
                          default="quick")
     p_bench.add_argument("--kernel-out", default="BENCH_kernel.json")
     p_bench.add_argument("--figures-out", default="BENCH_figures.json")
+    p_bench.add_argument("--scale-out", default="BENCH_scale.json")
     p_bench.add_argument("--label", default="",
                          help="free-form tag recorded in the artifacts")
     p_bench.add_argument("--skip-figures", action="store_true",
                          help="only run the kernel micro-benchmarks")
+    p_bench.add_argument("--skip-scale", action="store_true",
+                         help="skip the fluid-population scale sweep")
     p_bench.add_argument("--cprofile", action="store_true",
                          help="run under cProfile and print the top 20 "
                               "functions by cumulative time (--profile "

@@ -145,16 +145,32 @@ class Experiment:
         server = build_server(self.server, sim, machine, listener)
         server.start()
 
-        generator = LoadGenerator(
-            sim,
-            listener,
-            network,
-            surge,
-            metrics,
-            n_clients=self.workload.clients,
-            streams=streams,
-            config=self.workload.httperf,
-        )
+        fluid = self._effective_fluid()
+        if fluid is not None:
+            from ..workload.fluid import FluidLoadGenerator
+
+            generator = FluidLoadGenerator(
+                sim,
+                listener,
+                network,
+                surge,
+                metrics,
+                n_clients=self.workload.clients,
+                streams=streams,
+                config=self.workload.httperf,
+                fluid=fluid,
+            )
+        else:
+            generator = LoadGenerator(
+                sim,
+                listener,
+                network,
+                surge,
+                metrics,
+                n_clients=self.workload.clients,
+                streams=streams,
+                config=self.workload.httperf,
+            )
         generator.start(ramp=self.workload.effective_ramp)
 
         # Snapshot CPU busy-time at the window edges for utilisation.
@@ -177,6 +193,8 @@ class Experiment:
         stats["downlink_utilization"] = round(
             network.downlink_utilization(end), 4
         )
+        if fluid is not None:
+            stats.update(generator.stats())
         if self.recorder is not None:
             # Close out every span still open at the end of the run —
             # clients stuck in SYN retransmission or waiting on replies.
@@ -209,6 +227,26 @@ class Experiment:
             server_stats=stats,
             **tracer_kwargs,
         )
+
+    def _effective_fluid(self):
+        """The fluid config after the ``REPRO_FLUID`` env override.
+
+        ``"1"`` forces a default fluid population on, ``"0"`` forces the
+        discrete generator; unset defers to ``workload.fluid``.  Same
+        gating discipline as ``REPRO_NO_WHEEL``: the override selects an
+        execution strategy, never a different experiment (the equivalence
+        tests pin that).
+        """
+        import os
+
+        env = os.environ.get("REPRO_FLUID", "").strip()
+        if env == "0":
+            return None
+        if env == "1" and self.workload.fluid is None:
+            from ..workload.fluid import FluidConfig
+
+            return FluidConfig()
+        return self.workload.fluid
 
     # -- convenience ---------------------------------------------------------
     def describe(self) -> str:

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from ..overload import OverloadControl
+from ..workload.fluid import FluidConfig
 from ..workload.httperf import HttperfConfig
 from ..workload.surge import SurgeConfig
 
@@ -128,6 +129,12 @@ class WorkloadSpec:
     surge: SurgeConfig = field(default_factory=SurgeConfig)
     httperf: HttperfConfig = field(default_factory=HttperfConfig)
     ramp: Optional[float] = None  # client start stagger; default: warmup/2
+    #: Aggregated fluid client population (million-client scale mode);
+    #: ``None`` = the discrete per-client generator.  ``REPRO_FLUID=1``
+    #: forces a default :class:`~repro.workload.fluid.FluidConfig` on,
+    #: ``REPRO_FLUID=0`` forces discrete — the same env-gate discipline
+    #: as the timing wheel's ``REPRO_NO_WHEEL``.
+    fluid: Optional[FluidConfig] = None
 
     def __post_init__(self) -> None:
         if self.clients < 1:

@@ -9,6 +9,10 @@ Two measurements, two JSON artifacts:
 * :func:`measure_figures` -> ``BENCH_figures.json``: wall-clock seconds
   to regenerate paper figures serially and with a worker pool, plus the
   speedup.  This is the headline number for the parallel sweep runner.
+* :func:`measure_scale` -> ``BENCH_scale.json``: wall-clock, peak RSS
+  and live-object counts of the fluid-population scale sweep (100k-1M
+  client sessions), each point in a fresh subprocess so ``ru_maxrss``
+  is an honest per-point peak.
 
 Both artifacts carry a ``schema`` tag, the measurement environment
 (python version, cpu count, profile) and a caller-supplied ``label`` so
@@ -30,6 +34,7 @@ __all__ = [
     "measure_kernel",
     "measure_wheel_equivalence",
     "measure_figures",
+    "measure_scale",
     "write_json",
 ]
 
@@ -74,17 +79,20 @@ def _kernel_runner(name: str):
 
         return run
     if name == "cpu_bursts":
+        # Completion goes through CPU.execute_call — the bare-callback
+        # fast path the TCP reject charge and the fluid boundary use —
+        # so the bench measures the station's real hot-path cost, not
+        # Event allocation + kernel dispatch on top of it.
         def run(n: int) -> int:
             sim = Simulator()
             cpu = CPU(sim, nproc=2, smp_efficiency=1.0)
             done = [0]
+
+            def fin() -> None:
+                done[0] += 1
+
             for i in range(n):
-                sim.call_later(
-                    i * 1e-4,
-                    lambda: cpu.execute(5e-4).callbacks.append(
-                        lambda _e: done.__setitem__(0, done[0] + 1)
-                    ),
-                )
+                sim.call_later(i * 1e-4, cpu.execute_call, 5e-4, fin)
             sim.run()
             return done[0]
 
@@ -273,6 +281,118 @@ def measure_wheel_equivalence(
     }
 
 
+def _scale_point_main() -> None:  # pragma: no cover - subprocess entry
+    """Run one scale-sweep point and print its measurements as JSON.
+
+    Invoked by :func:`measure_scale` via ``python -c`` so every point
+    starts from a fresh interpreter: ``ru_maxrss`` then reports *this
+    point's* peak instead of the high-water mark of whichever larger
+    point ran earlier in the process.
+    """
+    import gc
+    import resource
+
+    clients = int(sys.argv[1])
+    duration = float(sys.argv[2])
+    warmup = float(sys.argv[3])
+    seed = int(sys.argv[4])
+    budget = int(sys.argv[5])
+
+    from ..workload.fluid import FluidConfig
+    from .experiment import Experiment
+    from .params import ServerSpec, WorkloadSpec
+
+    workload = WorkloadSpec(
+        clients=clients, duration=duration, warmup=warmup,
+        fluid=FluidConfig(budget=budget if budget > 0 else None),
+    )
+    t0 = time.perf_counter()
+    metrics = Experiment(ServerSpec.nio(1), workload, seed=seed).run()
+    wall = time.perf_counter() - t0
+    gc.collect()
+    # ru_maxrss is kilobytes on Linux.
+    peak_rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    json.dump(
+        {
+            "clients": clients,
+            "wall_seconds": round(wall, 3),
+            "peak_rss_bytes": peak_rss,
+            "live_objects": len(gc.get_objects()),
+            "row": metrics.row(),
+            "fluid": {
+                key: value
+                for key, value in sorted(metrics.server_stats.items())
+                if key.startswith("fluid.")
+            },
+        },
+        sys.stdout,
+    )
+
+
+def measure_scale(
+    client_counts: Optional[List[int]] = None,
+    duration: float = 10.0,
+    warmup: float = 6.0,
+    seed: int = 42,
+    budget: int = 4096,
+    label: str = "",
+) -> Dict:
+    """Wall-clock + memory of the fluid scale sweep -> ``BENCH_scale.json``.
+
+    Defaults follow the ``scale`` measurement profile: 100k-1M client
+    sessions against the best uniprocessor configuration (nio-1, 1 Gbit),
+    a window long enough to catch the 10 s abandon ladder.  The
+    acceptance gate the CI artifact records: the 100k point must finish
+    within 60 s wall-clock in under 1 GB of peak RSS.
+    """
+    import subprocess
+
+    from .scenarios import SCALE_CLIENT_RANGE
+
+    counts = list(client_counts or SCALE_CLIENT_RANGE)
+    # The subprocess must resolve `repro` the same way this process did.
+    src_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src_root, env.get("PYTHONPATH", "")) if p
+    )
+    points: List[Dict] = []
+    for clients in counts:
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro.core.perf import _scale_point_main; "
+                "_scale_point_main()",
+                str(clients),
+                str(duration),
+                str(warmup),
+                str(seed),
+                str(budget),
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"scale point {clients} failed:\n{proc.stderr}"
+            )
+        points.append(json.loads(proc.stdout))
+    return {
+        "schema": "repro-bench-scale/1",
+        "label": label,
+        "duration": duration,
+        "warmup": warmup,
+        "seed": seed,
+        "budget": budget,
+        "environment": _environment(),
+        "points": points,
+    }
+
+
 def measure_figures(
     figures: Optional[List[str]] = None,
     profile: str = "quick",
@@ -363,6 +483,12 @@ def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--kernel-out", default="BENCH_kernel.json")
     parser.add_argument("--figures-out", default="BENCH_figures.json")
+    parser.add_argument("--scale-out", default="BENCH_scale.json")
+    parser.add_argument("--skip-scale", action="store_true",
+                        help="skip the fluid scale sweep")
+    parser.add_argument("--scale-clients", default="",
+                        help="comma-separated scale-sweep client counts "
+                             "(default: 100000,250000,500000,1000000)")
     parser.add_argument("--label", default="")
     parser.add_argument("--profile", default="quick")
     parser.add_argument("--jobs", type=int, default=0,
@@ -400,6 +526,23 @@ def main(argv: Optional[List[str]] = None) -> int:  # pragma: no cover
         )
     )
     print(f"wrote {args.kernel_out}")
+
+    if not args.skip_scale:
+        counts = [
+            int(c) for c in args.scale_clients.split(",") if c
+        ] or None
+        scale = measure_scale(client_counts=counts, label=args.label)
+        for point in scale["points"]:
+            rss_mb = point["peak_rss_bytes"] / (1024 * 1024)
+            print(
+                f"[scale] {point['clients']:>9,d} sessions: "
+                f"{point['wall_seconds']:7.1f} s wall, "
+                f"{rss_mb:7.0f} MB peak RSS, "
+                f"{point['row']['replies/s']:>9,.1f} replies/s, "
+                f"{point['row']['timeout/s']:>10,.1f} timeout/s"
+            )
+        write_json(scale, args.scale_out)
+        print(f"wrote {args.scale_out}")
 
     if not args.skip_figures:
         figures = [f for f in args.figures.split(",") if f] or None

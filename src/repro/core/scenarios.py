@@ -34,6 +34,8 @@ __all__ = [
     "UP_DUAL_FAST_ETHERNET",
     "SMP_GIGABIT",
     "OVERLOAD_UP",
+    "MILLION_UP",
+    "SCALE_CLIENT_RANGE",
     "MeasurementProfile",
     "PROFILES",
     "active_profile",
@@ -68,6 +70,20 @@ OVERLOAD_UP = Scenario(
     NetworkSpec.gigabit(),
 )
 
+#: Million-client scale testbed: the paper's UP-1G environment driven far
+#: past the discrete generator's practical range by an aggregated fluid
+#: client population (``WorkloadSpec.fluid``).  The environment itself is
+#: UP_GIGABIT; the distinct name marks sweeps whose client counts are
+#: session *populations*, not concurrent httperf processes.
+MILLION_UP = Scenario(
+    "MILLION-UP", MachineSpec(cpus=1), NetworkSpec.gigabit()
+)
+
+#: The scale sweep: 100k to 1M client sessions on one modelled CPU.
+SCALE_CLIENT_RANGE: Tuple[int, ...] = (
+    100_000, 250_000, 500_000, 1_000_000,
+)
+
 
 @dataclass(frozen=True)
 class MeasurementProfile:
@@ -96,6 +112,13 @@ PROFILES: Dict[str, MeasurementProfile] = {
     # Full: long windows for tight error-rate estimates.
     "full": MeasurementProfile(
         "full", PAPER_CLIENT_RANGE, duration=30.0, warmup=20.0
+    ),
+    # Scale: the fluid-population sweep (pair with WorkloadSpec.fluid or
+    # REPRO_FLUID=1).  The window must outlast the 10 s client-timeout
+    # abandon ladder, or overflow abandonments land past the end of the
+    # run and timeout/s under-reports.
+    "scale": MeasurementProfile(
+        "scale", SCALE_CLIENT_RANGE, duration=10.0, warmup=6.0
     ),
 }
 

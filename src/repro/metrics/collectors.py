@@ -217,6 +217,17 @@ class MetricsHub:
         self.errors[kind] += 1
         self.error_series.add(self.sim.now - self.window_start)
 
+    def record_errors(self, kind: str, count: int) -> None:
+        """Count ``count`` errors of ``kind`` in one batch.
+
+        The aggregated twin of :meth:`record_error`, used by the fluid
+        client model when a whole cohort abandons at once.
+        """
+        if count <= 0 or not self.in_window():
+            return
+        self.errors[kind] += count
+        self.error_series.add(self.sim.now - self.window_start, count)
+
     def record_connection(self, connection_time: float) -> None:
         """Record one successful TCP establishment."""
         if not self.in_window():

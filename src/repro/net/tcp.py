@@ -503,7 +503,35 @@ class ListenSocket:
         """CPU cost of dropping a SYN (fire and forget, phase-attributed)."""
         if self.profiler is not None:
             self.profiler.add("reject", self.costs.reject)
-        self.machine.cpu.execute(self.costs.reject)
+        self.machine.cpu.charge(self.costs.reject)
+
+    @property
+    def would_drop_syn(self) -> bool:
+        """Whether the kernel would drop a SYN arriving right now."""
+        return self._backlog.is_full and self._backlog.waiting_getters == 0
+
+    def drop_flood(self, count: int) -> None:
+        """``count`` aggregated SYNs arrive at a full backlog and drop.
+
+        The batched boundary touch of the fluid client model
+        (:mod:`repro.workload.fluid`): the overflow population's SYN mass
+        is counted and billed to the SUT (one pooled reject burst) in a
+        single call instead of ``count`` discrete ``offer()`` events.
+        Callers must check :attr:`would_drop_syn` first — this method
+        never queues.
+        """
+        self.syns_received += count
+        self.syns_dropped += count
+        if self.profiler is not None:
+            self.profiler.add("reject", count * self.costs.reject)
+        self.machine.cpu.charge(count * self.costs.reject)
+        if self.probe is not None:
+            for _ in range(count):
+                self.probe.on_drop(self.sim.now)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "error", "syn_flood", count=count, backlog=self.backlog_depth
+            )
 
     # -- overload-control plumbing ------------------------------------------
     def _oldest_wait(self) -> float:

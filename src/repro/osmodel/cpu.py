@@ -93,7 +93,10 @@ class CPU:
 
         self._vtime = 0.0
         self._last_sync = sim.now
-        self._heap: List[Tuple[float, int, Event]] = []
+        # Entries: (virtual finish, seq, payload) where payload is an
+        # Event (execute), a (fn, args) pair (execute_call) or None
+        # (charge) — see _on_timer for the completion protocols.
+        self._heap: List[Tuple[float, int, object]] = []
         self._seq = 0
         self._timer_gen = 0
         self._timer_armed = False
@@ -152,16 +155,51 @@ class CPU:
         if cost == 0.0:
             ev.succeed()
             return ev
+        self._submit(cost, ev)
+        return ev
+
+    def execute_call(self, cost: float, fn, *args) -> None:
+        """Submit a burst and run ``fn(*args)`` directly on completion.
+
+        Same PS-station model as :meth:`execute`, but completion goes
+        through the bare-callback fast path — no :class:`Event` is
+        allocated and no kernel dispatch round trip is paid: ``fn`` runs
+        inside the station's completion timer.  The callback-side twin of
+        :meth:`~repro.net.link.Link.transmit_call`; use :meth:`execute`
+        when the caller needs an event to yield on or compose.
+        """
+        if cost < 0:
+            raise SimulationError(f"negative CPU cost {cost!r}")
+        if cost == 0.0:
+            self.sim.call_later(0.0, fn, *args)
+            return
+        self._submit(cost, (fn, args))
+
+    def charge(self, cost: float) -> None:
+        """Occupy the station for ``cost`` CPU-seconds, fire and forget.
+
+        The burst slows concurrent bursts and is accounted in
+        ``busy_time``/``total_cost`` exactly like :meth:`execute`, but no
+        completion notification exists at all — the path for discarded
+        completion events (SYN-reject charges, aggregated flood costs).
+        """
+        if cost < 0:
+            raise SimulationError(f"negative CPU cost {cost!r}")
+        if cost == 0.0:
+            return
+        self._submit(cost, None)
+
+    def _submit(self, cost: float, payload) -> None:
+        """Queue one burst; ``payload`` decides the completion action."""
         self._sync()
         self._seq += 1
-        heapq.heappush(self._heap, (self._vtime + cost, self._seq, ev))
+        heapq.heappush(self._heap, (self._vtime + cost, self._seq, payload))
         self.total_cost += cost
         self.bursts += 1
         # Arrivals only slow the station, so an armed timer stays safe
         # (fires early, re-checks) unless this burst finishes first.
         if not self._timer_armed or self._heap[0][1] == self._seq:
             self._arm_timer()
-        return ev
 
     def run(self, cost: float):
         """Generator helper: ``yield from cpu.run(cost)`` inside a process."""
@@ -178,6 +216,8 @@ class CPU:
     def _sync(self) -> None:
         """Advance virtual time and the busy integral to ``sim.now``."""
         now = self.sim.now
+        if now == self._last_sync:
+            return
         dt = now - self._last_sync
         if dt > 0.0:
             n = len(self._heap)
@@ -230,8 +270,18 @@ class CPU:
         tol = _EPS * (vnow if vnow > 1.0 else 1.0)
         heap = self._heap
         while heap and heap[0][0] <= vnow + tol:
-            _vf, _seq, ev = heapq.heappop(heap)
-            ev.succeed()
+            payload = heapq.heappop(heap)[2]
+            # Three completion protocols, cheapest check first: a bare
+            # (fn, args) pair from execute_call runs in place, an Event
+            # from execute goes through kernel dispatch, None (charge)
+            # needs nothing.
+            if payload is None:
+                continue
+            if payload.__class__ is tuple:
+                fn, args = payload
+                fn(*args)
+            else:
+                payload.succeed()
         self._arm_timer()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

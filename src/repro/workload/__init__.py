@@ -8,6 +8,7 @@ from .distributions import (
     Geometric,
     Lognormal,
 )
+from .fluid import FluidClass, FluidConfig, FluidLoadGenerator
 from .httperf import EmulatedClient, HttperfConfig, LoadGenerator
 from .sessionlog import ReplayWorkload, SessionLog
 from .surge import (
@@ -25,6 +26,9 @@ __all__ = [
     "Geometric",
     "Lognormal",
     "EmulatedClient",
+    "FluidClass",
+    "FluidConfig",
+    "FluidLoadGenerator",
     "HttperfConfig",
     "LoadGenerator",
     "ReplayWorkload",

@@ -195,6 +195,20 @@ class SurgeWorkload:
         )
         return SessionPlan(groups, think_times, gap)
 
+    def sample_gaps(self, rng: np.random.Generator, k: int) -> np.ndarray:
+        """Vectorised draw of ``k`` inter-session gaps.
+
+        One numpy call for a whole fluid cohort; each element follows the
+        same bounded-Pareto law :meth:`sample_session` draws its
+        ``inter_session_gap`` from.
+        """
+        if not self.config.inter_session_think:
+            return np.zeros(k)
+        think = self._think
+        return np.minimum(
+            think.k * rng.random(k) ** (-1.0 / think.alpha), think.upper
+        )
+
     # -- analytics -----------------------------------------------------------
     def offered_load_per_client(self, mean_response_time: float = 0.1) -> float:
         """Rough requests/s one emulated client offers in steady state."""
