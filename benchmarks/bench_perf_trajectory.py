@@ -31,7 +31,8 @@ def test_perf_trajectory_kernel_smoke():
     from repro.core.perf import KERNEL_BENCHES, measure_kernel
 
     report = measure_kernel(n=2_000, rounds=1, label="smoke")
-    assert report["schema"] == "repro-bench-kernel/1"
+    assert report["schema"] == "repro-bench-kernel/2"
+    assert report["kernel_backend"] in ("python", "turbo")
     assert set(report["benchmarks"]) == set(KERNEL_BENCHES)
     for name, row in report["benchmarks"].items():
         assert row["events_per_second"] > 0, name

@@ -1,0 +1,1267 @@
+/* Compiled dispatch core for the repro DES kernel.
+ *
+ * This extension holds the three hot entry points of
+ * repro.sim.core.Simulator -- the inlined dispatch loop (run), Timeout
+ * scheduling (timeout), and the bare-callback fast path (call_later) --
+ * translated line-for-line from the pure-Python kernel.  It is NOT a
+ * parallel implementation: it manipulates exactly the same slots, the
+ * same heap list, the same free-list pools, and the same timing wheel
+ * as the Python code, so the two backends can interleave freely within
+ * one simulator instance and the dispatch order (and therefore every
+ * RunMetrics row) is byte-identical.
+ *
+ * How it stays in lockstep with the Python kernel:
+ *
+ *  - setup() receives the *live* class objects and sentinels from
+ *    repro.sim.core and caches their slot offsets (read out of the
+ *    member descriptors that __slots__ created).  Nothing here is a
+ *    copy that could drift; renaming a slot in core.py breaks setup()
+ *    loudly at import time, not silently at dispatch time.
+ *  - Heap order is delegated to the stdlib heapq (C implementation):
+ *    the exact same comparisons the Python kernel performs.
+ *  - Sequence numbers, pool caps, recycling rules, tombstone
+ *    accounting, the negative-delay message, and the `until` clock
+ *    semantics replicate the Python code exactly; the pinned
+ *    behavioural tests (tests/test_kernel_fastpath.py) pass unchanged
+ *    under REPRO_KERNEL=turbo.
+ *  - Process resume -- the dominant per-event cost -- is inlined: when
+ *    a callback is a bound method whose function is Process._resume,
+ *    the generator is advanced with PyIter_Send (no StopIteration
+ *    materialisation) and the common yield-a-Timeout path is handled
+ *    entirely in C.  All rare paths (failures, relays, yield
+ *    validation) call back into the Python kernel so the semantics
+ *    have a single source of truth.
+ *
+ * Fallback: this file is optional.  When no C toolchain is available
+ * the build skips it (setup.py marks the Extension optional) and
+ * repro.sim.turbo serves the pure-Python kernel.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <structmember.h>
+
+/* ------------------------------------------------------------------ */
+/* Cached kernel bindings (filled once by setup()).                    */
+
+typedef struct {
+    PyTypeObject *Simulator;
+    PyTypeObject *Event;
+    PyTypeObject *Timeout;
+    PyTypeObject *Process;
+    PyTypeObject *Callback;
+    PyTypeObject *Wheel;
+    PyObject *SimulationError;
+    PyObject *PENDING;
+    PyObject *resume_fn;       /* plain function Process._resume */
+    PyObject *heappush;        /* heapq.heappush (C) */
+    PyObject *heappop;         /* heapq.heappop (C) */
+    PyObject *str_advance, *str_schedule, *str_throw, *str_close,
+             *str_fail, *str_value, *str_name, *str_until, *str_kwvalue;
+    PyObject *zero;            /* int 0 */
+    long pool_max;
+
+    /* slot offsets */
+    Py_ssize_t s_now, s_heap, s_seq, s_tpool, s_cbpool, s_wheel,
+               s_wheel_tick, s_batch, s_batch_pos;
+    Py_ssize_t e_sim, e_callbacks, e_value, e_ok, e_defused, e_pooled;
+    Py_ssize_t t_node;
+    Py_ssize_t p_gen, p_target;
+    Py_ssize_t c_fn, c_args;
+    Py_ssize_t w_count, w_next;
+    int ready;
+} HotState;
+
+static HotState S;
+
+/* Slot access: __slots__ storage is a PyObject* at a fixed offset.
+ * Our code paths only touch slots the kernel always initialises, so a
+ * NULL read would be a kernel bug; SLOT_SET tolerates NULL old values
+ * (fresh _Callback instances).  */
+#define SLOT(o, off) (*(PyObject **)((char *)(o) + (off)))
+
+static inline void
+slot_set(PyObject *o, Py_ssize_t off, PyObject *v)
+{
+    PyObject *old = SLOT(o, off);
+    Py_INCREF(v);
+    SLOT(o, off) = v;
+    Py_XDECREF(old);
+}
+
+/* Like slot_set but steals the reference to v. */
+static inline void
+slot_set_steal(PyObject *o, Py_ssize_t off, PyObject *v)
+{
+    PyObject *old = SLOT(o, off);
+    SLOT(o, off) = v;
+    Py_XDECREF(old);
+}
+
+static int
+check_ready(void)
+{
+    if (!S.ready) {
+        PyErr_SetString(PyExc_RuntimeError,
+                        "repro.sim.turbo._hot.setup() has not run");
+        return -1;
+    }
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* Small helpers                                                       */
+
+/* a < b for scalar time/seq values; exact float fast path, generic
+ * rich-compare otherwise.  Returns -1 on error. */
+static inline int
+obj_lt(PyObject *a, PyObject *b)
+{
+    if (PyFloat_CheckExact(a) && PyFloat_CheckExact(b))
+        return PyFloat_AS_DOUBLE(a) < PyFloat_AS_DOUBLE(b);
+    return PyObject_RichCompareBool(a, b, Py_LT);
+}
+
+static inline int
+obj_ge(PyObject *a, PyObject *b)
+{
+    if (PyFloat_CheckExact(a) && PyFloat_CheckExact(b))
+        return PyFloat_AS_DOUBLE(a) >= PyFloat_AS_DOUBLE(b);
+    return PyObject_RichCompareBool(a, b, Py_GE);
+}
+
+/* delay < 0, matching the Python kernel's check exactly. */
+static inline int
+delay_negative(PyObject *delay)
+{
+    if (PyFloat_CheckExact(delay))
+        return PyFloat_AS_DOUBLE(delay) < 0.0;
+    if (PyLong_CheckExact(delay))
+        return Py_SIZE(delay) < 0;
+    return PyObject_RichCompareBool(delay, S.zero, Py_LT);
+}
+
+/* now + delay with the exact semantics of the Python `+`. */
+static inline PyObject *
+time_add(PyObject *now, PyObject *delay)
+{
+    if (PyFloat_CheckExact(now) && PyFloat_CheckExact(delay))
+        return PyFloat_FromDouble(
+            PyFloat_AS_DOUBLE(now) + PyFloat_AS_DOUBLE(delay));
+    return PyNumber_Add(now, delay);
+}
+
+/* sim._seq = seq = sim._seq + 1; returns a new reference to seq. */
+static PyObject *
+seq_next(PyObject *sim)
+{
+    PyObject *seqobj = SLOT(sim, S.s_seq);
+    PyObject *newseq = NULL;
+    if (PyLong_CheckExact(seqobj)) {
+        long long v = PyLong_AsLongLong(seqobj);
+        if (v == -1 && PyErr_Occurred())
+            PyErr_Clear();      /* beyond long long: generic add below */
+        else if (v < LLONG_MAX)
+            newseq = PyLong_FromLongLong(v + 1);
+    }
+    if (newseq == NULL) {
+        PyObject *one = PyLong_FromLong(1);
+        if (one == NULL)
+            return NULL;
+        newseq = PyNumber_Add(seqobj, one);
+        Py_DECREF(one);
+        if (newseq == NULL)
+            return NULL;
+    }
+    Py_INCREF(newseq);
+    slot_set_steal(sim, S.s_seq, newseq);
+    return newseq;
+}
+
+/* heappush(heap, entry); 0 on success.  Pushing onto an empty heap is
+ * a plain append -- same resulting list, no heapq call.  The kernel's
+ * hottest workloads (process chains with one pending event) hit this
+ * case almost every time. */
+static int
+heap_push(PyObject *heap, PyObject *entry)
+{
+    if (PyList_GET_SIZE(heap) == 0)
+        return PyList_Append(heap, entry);
+    PyObject *argv[2] = {heap, entry};
+    PyObject *r = PyObject_Vectorcall(S.heappush, argv, 2, NULL);
+    if (r == NULL)
+        return -1;
+    Py_DECREF(r);
+    return 0;
+}
+
+/* heappop(heap) -> new ref to the popped entry.  The 1- and 2-element
+ * cases are inlined: heapq's algorithm on those sizes reduces to "take
+ * the head, move the tail up" with no comparisons, so the resulting
+ * list is identical by construction. */
+static PyObject *
+heap_pop(PyObject *heap)
+{
+    Py_ssize_t n = PyList_GET_SIZE(heap);
+    if (n == 1) {
+        PyObject *item = PyList_GET_ITEM(heap, 0);
+        PyList_SET_ITEM(heap, 0, NULL);
+        Py_SET_SIZE(heap, 0);
+        return item;
+    }
+    if (n == 2) {
+        PyObject *item = PyList_GET_ITEM(heap, 0);
+        PyList_SET_ITEM(heap, 0, PyList_GET_ITEM(heap, 1));
+        PyList_SET_ITEM(heap, 1, NULL);
+        Py_SET_SIZE(heap, 1);
+        return item;
+    }
+    return PyObject_CallOneArg(S.heappop, heap);
+}
+
+/* Build the (when, seq, obj) heap entry.  Steals when and seq,
+ * increfs obj. */
+static PyObject *
+make_entry(PyObject *when, PyObject *seq, PyObject *obj)
+{
+    PyObject *entry = PyTuple_New(3);
+    if (entry == NULL) {
+        Py_DECREF(when);
+        Py_DECREF(seq);
+        return NULL;
+    }
+    PyTuple_SET_ITEM(entry, 0, when);
+    PyTuple_SET_ITEM(entry, 1, seq);
+    Py_INCREF(obj);
+    PyTuple_SET_ITEM(entry, 2, obj);
+    return entry;
+}
+
+/* Schedule obj at (when, seq) on the heap.  Steals when/seq. */
+static int
+push_keyed(PyObject *sim, PyObject *when, PyObject *seq, PyObject *obj)
+{
+    PyObject *entry = make_entry(when, seq, obj);
+    if (entry == NULL)
+        return -1;
+    int rc = heap_push(SLOT(sim, S.s_heap), entry);
+    Py_DECREF(entry);
+    return rc;
+}
+
+/* ------------------------------------------------------------------ */
+/* Inline process resume                                               */
+
+/* proc.succeed(value) for the generator-returned case: proc is a
+ * Process whose event-half must trigger now.  Mirrors Event.succeed. */
+static int
+proc_succeed(PyObject *proc, PyObject *value)
+{
+    if (SLOT(proc, S.e_value) != S.PENDING) {
+        PyErr_Format(S.SimulationError, "%R already triggered", proc);
+        return -1;
+    }
+    slot_set(proc, S.e_value, value);
+    slot_set(proc, S.e_ok, Py_True);
+    PyObject *sim = SLOT(proc, S.e_sim);
+    PyObject *seq = seq_next(sim);
+    if (seq == NULL)
+        return -1;
+    PyObject *now = SLOT(sim, S.s_now);
+    Py_INCREF(now);
+    return push_keyed(sim, now, seq, proc);
+}
+
+/* The already-processed-event relay: Python Process._resume's tail. */
+static int
+relay_processed(PyObject *proc, PyObject *nxt, PyObject *cb)
+{
+    PyObject *sim = SLOT(proc, S.e_sim);
+    PyObject *relay = PyObject_CallOneArg((PyObject *)S.Event, sim);
+    if (relay == NULL)
+        return -1;
+    slot_set(relay, S.e_value, SLOT(nxt, S.e_value));
+    PyObject *ok = SLOT(nxt, S.e_ok);
+    slot_set(relay, S.e_ok, ok);
+    int truthy = PyObject_IsTrue(ok);
+    if (truthy < 0)
+        goto fail;
+    if (!truthy)
+        slot_set(relay, S.e_defused, Py_True);
+    if (PyList_Append(SLOT(relay, S.e_callbacks), cb) < 0)
+        goto fail;
+    PyObject *seq = seq_next(sim);
+    if (seq == NULL)
+        goto fail;
+    PyObject *now = SLOT(sim, S.s_now);
+    Py_INCREF(now);
+    if (push_keyed(sim, now, seq, relay) < 0)
+        goto fail;
+    slot_set(proc, S.p_target, relay);
+    Py_DECREF(relay);
+    return 0;
+fail:
+    Py_DECREF(relay);
+    return -1;
+}
+
+/* gen yielded something unusable: mirror the Python validation tail. */
+static int
+reject_yield(PyObject *proc, PyObject *nxt, int wrong_sim)
+{
+    PyObject *err;
+    if (wrong_sim) {
+        err = PyObject_CallFunction(S.SimulationError, "s",
+                                    "yielded event from another simulator");
+    }
+    else {
+        PyObject *name = PyObject_GetAttr(proc, S.str_name);
+        if (name == NULL)
+            return -1;
+        PyObject *msg = PyUnicode_FromFormat(
+            "process %R yielded non-event %R", name, nxt);
+        Py_DECREF(name);
+        if (msg == NULL)
+            return -1;
+        err = PyObject_CallOneArg(S.SimulationError, msg);
+        Py_DECREF(msg);
+    }
+    if (err == NULL)
+        return -1;
+    PyObject *gen = SLOT(proc, S.p_gen);
+    PyObject *r = PyObject_CallMethodNoArgs(gen, S.str_close);
+    if (r == NULL) {
+        Py_DECREF(err);
+        return -1;
+    }
+    Py_DECREF(r);
+    r = PyObject_CallMethodOneArg(proc, S.str_fail, err);
+    Py_DECREF(err);
+    if (r == NULL)
+        return -1;
+    Py_DECREF(r);
+    return 0;
+}
+
+/* The current exception becomes proc.fail(exc) -- the Python kernel's
+ * `except BaseException` arm. */
+static int
+fail_from_current_exception(PyObject *proc)
+{
+    PyObject *etype, *eval, *etb;
+    PyErr_Fetch(&etype, &eval, &etb);
+    PyErr_NormalizeException(&etype, &eval, &etb);
+    if (eval == NULL) {
+        PyErr_SetString(PyExc_SystemError, "lost exception in resume");
+        Py_XDECREF(etype);
+        Py_XDECREF(etb);
+        return -1;
+    }
+    if (etb != NULL)
+        PyException_SetTraceback(eval, etb);
+    PyObject *r = PyObject_CallMethodOneArg(proc, S.str_fail, eval);
+    Py_DECREF(etype);
+    Py_DECREF(eval);
+    Py_XDECREF(etb);
+    if (r == NULL)
+        return -1;
+    Py_DECREF(r);
+    return 0;
+}
+
+/* Extract StopIteration.value from the current exception; clears it.
+ * Returns new ref (possibly None), or NULL on error. */
+static PyObject *
+stop_iteration_value(void)
+{
+    PyObject *etype, *eval, *etb;
+    PyErr_Fetch(&etype, &eval, &etb);
+    PyErr_NormalizeException(&etype, &eval, &etb);
+    Py_XDECREF(etype);
+    Py_XDECREF(etb);
+    if (eval == NULL)
+        Py_RETURN_NONE;
+    PyObject *value = PyObject_GetAttr(eval, S.str_value);
+    Py_DECREF(eval);
+    return value;
+}
+
+/* Inlined Process._resume(event).  `cb` is the bound-method object
+ * being invoked; it is re-appended to the next target's callbacks,
+ * which is semantically identical to the fresh bound method Python
+ * creates (nothing compares callback identity).  Returns 0/-1. */
+static int
+inline_resume(PyObject *proc, PyObject *event, PyObject *cb)
+{
+    if (SLOT(proc, S.p_target) != event)
+        return 0;               /* stale wakeup: lazy-cancel tombstone */
+    slot_set(proc, S.p_target, Py_None);
+
+    /* event may be the module-level _Boot pseudo-event, which has no
+     * slots -- fall back to generic attribute reads for it. */
+    int is_ev = PyObject_TypeCheck(event, S.Event);
+    PyObject *ok_obj, *value;
+    if (is_ev) {
+        ok_obj = SLOT(event, S.e_ok);
+        value = SLOT(event, S.e_value);
+    }
+    else {
+        ok_obj = Py_True;       /* _Boot: _ok = True, _value = None */
+        value = Py_None;
+    }
+
+    PyObject *gen = SLOT(proc, S.p_gen);
+    PyObject *nxt = NULL;
+    int ok = PyObject_IsTrue(ok_obj);
+    if (ok < 0)
+        return -1;
+
+    int finished = 0;           /* generator returned (nxt = retval) */
+    if (ok) {
+        switch (PyIter_Send(gen, value, &nxt)) {
+        case PYGEN_RETURN:
+            finished = 1;
+            break;
+        case PYGEN_NEXT:
+            break;
+        case PYGEN_ERROR:
+            return fail_from_current_exception(proc);
+        }
+    }
+    else {
+        if (is_ev)
+            slot_set(event, S.e_defused, Py_True);
+        /* _Boot is never a failure carrier, so no generic-set branch */
+        nxt = PyObject_CallMethodOneArg(gen, S.str_throw, value);
+        if (nxt == NULL) {
+            if (PyErr_ExceptionMatches(PyExc_StopIteration)) {
+                nxt = stop_iteration_value();
+                if (nxt == NULL)
+                    return -1;
+                finished = 1;
+            }
+            else {
+                return fail_from_current_exception(proc);
+            }
+        }
+    }
+
+    if (finished) {
+        int rc = proc_succeed(proc, nxt);
+        Py_DECREF(nxt);
+        return rc;
+    }
+
+    /* Validate and register the yielded event. */
+    if (!PyObject_TypeCheck(nxt, S.Event)) {
+        int rc = reject_yield(proc, nxt, 0);
+        Py_DECREF(nxt);
+        return rc;
+    }
+    if (SLOT(nxt, S.e_sim) != SLOT(proc, S.e_sim)) {
+        int rc = reject_yield(proc, nxt, 1);
+        Py_DECREF(nxt);
+        return rc;
+    }
+    PyObject *callbacks = SLOT(nxt, S.e_callbacks);
+    if (callbacks == Py_None) {
+        int rc = relay_processed(proc, nxt, cb);
+        Py_DECREF(nxt);
+        return rc;
+    }
+    if (PyList_GET_SIZE(callbacks) == 0 && Py_TYPE(nxt) == S.Timeout)
+        slot_set(nxt, S.e_pooled, Py_True);
+    if (PyList_Append(callbacks, cb) < 0) {
+        Py_DECREF(nxt);
+        return -1;
+    }
+    slot_set(proc, S.p_target, nxt);
+    Py_DECREF(nxt);
+    return 0;
+}
+
+/* Is cb a Process._resume bound method we can inline? */
+static inline PyObject *
+resume_target(PyObject *cb)
+{
+    if (PyMethod_Check(cb) && PyMethod_GET_FUNCTION(cb) == S.resume_fn) {
+        PyObject *self = PyMethod_GET_SELF(cb);
+        if (self != NULL && Py_TYPE(self) == S.Process)
+            return self;
+    }
+    return NULL;
+}
+
+/* ------------------------------------------------------------------ */
+/* run(self, until=None)                                               */
+
+static PyObject *
+hot_run(PyObject *sim, PyObject *const *args, Py_ssize_t nargs,
+        PyObject *kwnames)
+{
+    if (check_ready() < 0)
+        return NULL;
+    if (nargs > 1) {
+        PyErr_SetString(PyExc_TypeError,
+                        "run() takes at most one argument (`until`)");
+        return NULL;
+    }
+    PyObject *until = (nargs == 1) ? args[0] : Py_None;
+    if (kwnames != NULL) {
+        Py_ssize_t nk = PyTuple_GET_SIZE(kwnames);
+        for (Py_ssize_t i = 0; i < nk; i++) {
+            PyObject *key = PyTuple_GET_ITEM(kwnames, i);
+            int is_until = PyObject_RichCompareBool(key, S.str_until, Py_EQ);
+            if (is_until < 0)
+                return NULL;
+            if (!is_until || nargs == 1) {
+                PyErr_Format(PyExc_TypeError,
+                             "run() got an unexpected keyword argument %R",
+                             key);
+                return NULL;
+            }
+            until = args[nargs + i];
+        }
+    }
+
+    int has_bound = (until != Py_None);
+    int fast_bound = 0;
+    double bound_d = 0.0;
+    if (has_bound) {
+        int lt = PyObject_RichCompareBool(until, SLOT(sim, S.s_now), Py_LT);
+        if (lt < 0)
+            return NULL;
+        if (lt) {
+            PyErr_Format(S.SimulationError,
+                         "cannot run backwards to %R", until);
+            return NULL;
+        }
+        if (PyFloat_CheckExact(until)) {
+            fast_bound = 1;
+            bound_d = PyFloat_AS_DOUBLE(until);
+        }
+    }
+
+    /* These list objects are only ever mutated in place (compaction
+     * does heap[:] = ..., batch install does batch[:] = ...), so
+     * borrowed references stay valid for the whole loop. */
+    PyObject *heap = SLOT(sim, S.s_heap);
+    PyObject *batch = SLOT(sim, S.s_batch);
+    PyObject *wheel = SLOT(sim, S.s_wheel);
+    PyObject *tpool = SLOT(sim, S.s_tpool);
+    PyObject *cbpool = SLOT(sim, S.s_cbpool);
+    long pool_max = S.pool_max;
+    int tick = 0;
+
+    for (;;) {
+        if (++tick >= 2048) {
+            tick = 0;
+            if (PyErr_CheckSignals() < 0)
+                return NULL;
+        }
+        PyObject *when = NULL;      /* owned */
+        PyObject *event = NULL;     /* owned */
+
+        if (PyList_GET_SIZE(batch) > 0) {
+            /* Bulk-flush staging: dispatch the smaller of batch head
+             * and heap top.  Batch entries are strictly before every
+             * staged wheel entry, so no flush check is needed here. */
+            Py_ssize_t pos = PyLong_AsSsize_t(SLOT(sim, S.s_batch_pos));
+            if (pos == -1 && PyErr_Occurred())
+                return NULL;
+            PyObject *head = PyList_GET_ITEM(batch, pos);
+            int take_heap = 0;
+            if (PyList_GET_SIZE(heap) > 0) {
+                take_heap = PyObject_RichCompareBool(
+                    PyList_GET_ITEM(heap, 0), head, Py_LT);
+                if (take_heap < 0)
+                    return NULL;
+            }
+            PyObject *cand_when = take_heap
+                ? PyTuple_GET_ITEM(PyList_GET_ITEM(heap, 0), 0)
+                : PyTuple_GET_ITEM(head, 0);
+            if (has_bound) {
+                int over;
+                if (fast_bound && PyFloat_CheckExact(cand_when))
+                    over = PyFloat_AS_DOUBLE(cand_when) > bound_d;
+                else {
+                    over = PyObject_RichCompareBool(cand_when, until, Py_GT);
+                    if (over < 0)
+                        return NULL;
+                }
+                if (over)
+                    break;
+            }
+            if (take_heap) {
+                PyObject *popped = heap_pop(heap);
+                if (popped == NULL)
+                    return NULL;
+                when = PyTuple_GET_ITEM(popped, 0);
+                event = PyTuple_GET_ITEM(popped, 2);
+                Py_INCREF(when);
+                Py_INCREF(event);
+                Py_DECREF(popped);
+            }
+            else {
+                when = cand_when;
+                event = PyTuple_GET_ITEM(head, 2);
+                Py_INCREF(when);
+                Py_INCREF(event);
+                pos += 1;
+                if (pos == PyList_GET_SIZE(batch)) {
+                    if (PyList_SetSlice(batch, 0, pos, NULL) < 0)
+                        goto dispatch_error;
+                    slot_set(sim, S.s_batch_pos, S.zero);
+                }
+                else {
+                    PyObject *np = PyLong_FromSsize_t(pos);
+                    if (np == NULL)
+                        goto dispatch_error;
+                    slot_set_steal(sim, S.s_batch_pos, np);
+                }
+            }
+        }
+        else if (PyList_GET_SIZE(heap) > 0) {
+            PyObject *entry0 = PyList_GET_ITEM(heap, 0);
+            PyObject *w0 = PyTuple_GET_ITEM(entry0, 0);
+            int ge = obj_ge(w0, SLOT(wheel, S.w_next));
+            if (ge < 0)
+                return NULL;
+            if (ge) {
+                /* Flush due wheel slots into the heap/batch first so
+                 * staged entries keep their (time, seq) place. */
+                Py_INCREF(w0);      /* advance may mutate the heap */
+                PyObject *r = PyObject_CallMethodObjArgs(
+                    wheel, S.str_advance, w0, sim, NULL);
+                Py_DECREF(w0);
+                if (r == NULL)
+                    return NULL;
+                Py_DECREF(r);
+                continue;
+            }
+            if (has_bound) {
+                int over;
+                if (fast_bound && PyFloat_CheckExact(w0))
+                    over = PyFloat_AS_DOUBLE(w0) > bound_d;
+                else {
+                    over = PyObject_RichCompareBool(w0, until, Py_GT);
+                    if (over < 0)
+                        return NULL;
+                }
+                if (over)
+                    break;
+            }
+            PyObject *popped = heap_pop(heap);
+            if (popped == NULL)
+                return NULL;
+            when = PyTuple_GET_ITEM(popped, 0);
+            event = PyTuple_GET_ITEM(popped, 2);
+            Py_INCREF(when);
+            Py_INCREF(event);
+            Py_DECREF(popped);
+        }
+        else {
+            Py_ssize_t cnt = PyLong_AsSsize_t(SLOT(wheel, S.w_count));
+            if (cnt == -1 && PyErr_Occurred())
+                return NULL;
+            if (cnt <= 0)
+                break;
+            PyObject *wnext = SLOT(wheel, S.w_next);
+            if (has_bound) {
+                int over;
+                if (fast_bound && PyFloat_CheckExact(wnext))
+                    over = PyFloat_AS_DOUBLE(wnext) > bound_d;
+                else {
+                    over = PyObject_RichCompareBool(wnext, until, Py_GT);
+                    if (over < 0)
+                        return NULL;
+                }
+                if (over)
+                    break;
+            }
+            Py_INCREF(wnext);
+            PyObject *r = PyObject_CallMethodObjArgs(
+                wheel, S.str_advance, wnext, sim, NULL);
+            Py_DECREF(wnext);
+            if (r == NULL)
+                return NULL;
+            Py_DECREF(r);
+            continue;
+        }
+
+        /* self._now = when (ref moves into the slot) */
+        slot_set_steal(sim, S.s_now, when);
+
+        if (Py_TYPE(event) == S.Callback) {
+            /* Bare-callback fast path: recycle before invoking so the
+             * callback itself can reuse the slot. */
+            PyObject *fn = SLOT(event, S.c_fn);
+            PyObject *cargs = SLOT(event, S.c_args);
+            Py_INCREF(fn);
+            Py_INCREF(cargs);
+            if (PyList_GET_SIZE(cbpool) < pool_max) {
+                slot_set(event, S.c_fn, Py_None);
+                slot_set(event, S.c_args, Py_None);
+                if (PyList_Append(cbpool, event) < 0) {
+                    Py_DECREF(fn);
+                    Py_DECREF(cargs);
+                    goto dispatch_error;
+                }
+            }
+            Py_DECREF(event);
+            PyObject *proc = (PyTuple_GET_SIZE(cargs) == 1)
+                ? resume_target(fn) : NULL;
+            if (proc != NULL) {
+                /* Process bootstrap / scheduled resume. */
+                int rc = inline_resume(proc, PyTuple_GET_ITEM(cargs, 0), fn);
+                Py_DECREF(fn);
+                Py_DECREF(cargs);
+                if (rc < 0)
+                    return NULL;
+            }
+            else {
+                PyObject *res = PyObject_Call(fn, cargs, NULL);
+                Py_DECREF(fn);
+                Py_DECREF(cargs);
+                if (res == NULL)
+                    return NULL;
+                Py_DECREF(res);
+            }
+            continue;
+        }
+
+        if (!PyObject_TypeCheck(event, S.Event)) {
+            /* Foreign heap entry (not produced by this kernel): take
+             * the generic Python semantics. */
+            PyObject *cbs = PyObject_GetAttrString(event, "callbacks");
+            Py_XDECREF(cbs);
+            if (cbs == NULL)
+                goto dispatch_error;
+            PyErr_Format(PyExc_TypeError,
+                         "unsupported heap entry %R", event);
+            goto dispatch_error;
+        }
+
+        {
+            PyObject *callbacks = SLOT(event, S.e_callbacks);
+            if (callbacks == Py_None) {
+                /* Mirrors the Python AttributeError on event.fn. */
+                PyObject *fn = PyObject_GetAttrString(event, "fn");
+                Py_XDECREF(fn);
+                if (fn == NULL)
+                    goto dispatch_error;
+                goto dispatch_error;
+            }
+            Py_INCREF(callbacks);
+            slot_set(event, S.e_callbacks, Py_None);
+
+            /* Python iterates with a list iterator: re-check the size
+             * every step in case a callback appends. */
+            for (Py_ssize_t i = 0; i < PyList_GET_SIZE(callbacks); i++) {
+                PyObject *cb = PyList_GET_ITEM(callbacks, i);
+                Py_INCREF(cb);
+                int rc;
+                PyObject *proc = resume_target(cb);
+                if (proc != NULL) {
+                    rc = inline_resume(proc, event, cb);
+                }
+                else {
+                    PyObject *res = PyObject_CallOneArg(cb, event);
+                    rc = (res == NULL) ? -1 : (Py_DECREF(res), 0);
+                }
+                Py_DECREF(cb);
+                if (rc < 0) {
+                    Py_DECREF(callbacks);
+                    goto dispatch_error;
+                }
+            }
+
+            int okv = PyObject_IsTrue(SLOT(event, S.e_ok));
+            if (okv < 0) {
+                Py_DECREF(callbacks);
+                goto dispatch_error;
+            }
+            if (!okv) {
+                int defused = PyObject_IsTrue(SLOT(event, S.e_defused));
+                if (defused <= 0) {
+                    if (defused == 0) {
+                        /* raise event._value */
+                        PyObject *exc = SLOT(event, S.e_value);
+                        Py_INCREF(exc);
+                        PyErr_SetObject((PyObject *)Py_TYPE(exc), exc);
+                        Py_DECREF(exc);
+                    }
+                    Py_DECREF(callbacks);
+                    goto dispatch_error;
+                }
+            }
+
+            int pooled = PyObject_IsTrue(SLOT(event, S.e_pooled));
+            if (pooled < 0) {
+                Py_DECREF(callbacks);
+                goto dispatch_error;
+            }
+            if (pooled && PyList_GET_SIZE(callbacks) == 1
+                && PyList_GET_SIZE(tpool) < pool_max) {
+                if (PyList_Append(tpool, event) < 0) {
+                    Py_DECREF(callbacks);
+                    goto dispatch_error;
+                }
+            }
+            Py_DECREF(callbacks);
+        }
+        Py_DECREF(event);
+        continue;
+
+    dispatch_error:
+        Py_XDECREF(event);
+        return NULL;
+    }
+
+    if (has_bound)
+        slot_set(sim, S.s_now, until);
+    Py_RETURN_NONE;
+}
+
+/* ------------------------------------------------------------------ */
+/* timeout(self, delay, value=None)                                    */
+
+static PyObject *
+hot_timeout(PyObject *sim, PyObject *const *args, Py_ssize_t nargs,
+            PyObject *kwnames)
+{
+    if (check_ready() < 0)
+        return NULL;
+    if (nargs < 1 || nargs > 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "timeout() takes delay and optionally value");
+        return NULL;
+    }
+    PyObject *delay = args[0];
+    PyObject *value = (nargs == 2) ? args[1] : Py_None;
+    if (kwnames != NULL) {
+        Py_ssize_t nk = PyTuple_GET_SIZE(kwnames);
+        for (Py_ssize_t i = 0; i < nk; i++) {
+            PyObject *key = PyTuple_GET_ITEM(kwnames, i);
+            int is_value = PyObject_RichCompareBool(key, S.str_kwvalue,
+                                                    Py_EQ);
+            if (is_value < 0)
+                return NULL;
+            if (!is_value || nargs == 2) {
+                PyErr_Format(PyExc_TypeError,
+                             "timeout() got an unexpected keyword "
+                             "argument %R", key);
+                return NULL;
+            }
+            value = args[nargs + i];
+        }
+    }
+
+    int neg = delay_negative(delay);
+    if (neg < 0)
+        return NULL;
+    if (neg) {
+        PyErr_Format(S.SimulationError, "negative delay %R", delay);
+        return NULL;
+    }
+
+    PyObject *tpool = SLOT(sim, S.s_tpool);
+    Py_ssize_t tn = PyList_GET_SIZE(tpool);
+    if (tn == 0) {
+        /* Pool empty: the Python Timeout constructor does the whole
+         * job (flattened init + routing) -- identical code path to
+         * the pure backend. */
+        return PyObject_CallFunctionObjArgs(
+            (PyObject *)S.Timeout, sim, delay, value, NULL);
+    }
+
+    /* Recycle the most recently pooled Timeout (LIFO, like list.pop —
+     * and implemented the way list.pop is: steal the tail item and
+     * shrink the size; the spare capacity is reused by the next
+     * append). */
+    PyObject *ev = PyList_GET_ITEM(tpool, tn - 1);
+    PyList_SET_ITEM(tpool, tn - 1, NULL);
+    Py_SET_SIZE(tpool, tn - 1);
+    PyObject *cbs = PyList_New(0);
+    if (cbs == NULL) {
+        Py_DECREF(ev);
+        return NULL;
+    }
+    slot_set_steal(ev, S.e_callbacks, cbs);
+    slot_set(ev, S.e_value, value);
+    slot_set(ev, S.e_ok, Py_True);
+    slot_set(ev, S.e_defused, Py_False);
+    slot_set(ev, S.e_pooled, Py_False);
+
+    PyObject *seq = seq_next(sim);
+    if (seq == NULL) {
+        Py_DECREF(ev);
+        return NULL;
+    }
+    PyObject *when = time_add(SLOT(sim, S.s_now), delay);
+    if (when == NULL) {
+        Py_DECREF(seq);
+        Py_DECREF(ev);
+        return NULL;
+    }
+
+    int sub = obj_lt(delay, SLOT(sim, S.s_wheel_tick));
+    if (sub < 0)
+        goto fail;
+    if (sub) {
+        slot_set(ev, S.t_node, Py_None);
+        if (push_keyed(sim, when, seq, ev) < 0) {
+            Py_DECREF(ev);
+            return NULL;
+        }
+        return ev;
+    }
+
+    /* route_timeout: wheel first, heap fallback. */
+    {
+        PyObject *node = PyObject_CallMethodObjArgs(
+            SLOT(sim, S.s_wheel), S.str_schedule,
+            when, seq, Py_None, Py_None, ev, NULL);
+        if (node == NULL)
+            goto fail;
+        slot_set(ev, S.t_node, node);
+        if (node == Py_None) {
+            Py_DECREF(node);
+            if (push_keyed(sim, when, seq, ev) < 0) {
+                Py_DECREF(ev);
+                return NULL;
+            }
+            return ev;
+        }
+        Py_DECREF(node);
+        Py_DECREF(when);
+        Py_DECREF(seq);
+        return ev;
+    }
+
+fail:
+    Py_DECREF(when);
+    Py_DECREF(seq);
+    Py_DECREF(ev);
+    return NULL;
+}
+
+/* ------------------------------------------------------------------ */
+/* call_later(self, delay, fn, *args)                                  */
+
+static PyObject *
+hot_call_later(PyObject *sim, PyObject *const *args, Py_ssize_t nargs,
+               PyObject *kwnames)
+{
+    if (check_ready() < 0)
+        return NULL;
+    if (kwnames != NULL && PyTuple_GET_SIZE(kwnames) > 0) {
+        PyErr_SetString(PyExc_TypeError,
+                        "call_later() takes no keyword arguments");
+        return NULL;
+    }
+    if (nargs < 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "call_later() requires delay and fn");
+        return NULL;
+    }
+    PyObject *delay = args[0];
+    PyObject *fn = args[1];
+
+    int neg = delay_negative(delay);
+    if (neg < 0)
+        return NULL;
+    if (neg) {
+        PyErr_Format(S.SimulationError, "negative delay %R", delay);
+        return NULL;
+    }
+
+    PyObject *cbpool = SLOT(sim, S.s_cbpool);
+    Py_ssize_t pn = PyList_GET_SIZE(cbpool);
+    PyObject *cb;
+    if (pn > 0) {
+        /* list.pop() equivalent: steal the tail item, shrink the size. */
+        cb = PyList_GET_ITEM(cbpool, pn - 1);
+        PyList_SET_ITEM(cbpool, pn - 1, NULL);
+        Py_SET_SIZE(cbpool, pn - 1);
+    }
+    else {
+        cb = PyObject_CallNoArgs((PyObject *)S.Callback);
+        if (cb == NULL)
+            return NULL;
+    }
+
+    Py_ssize_t extra = nargs - 2;
+    PyObject *cargs = PyTuple_New(extra);
+    if (cargs == NULL) {
+        Py_DECREF(cb);
+        return NULL;
+    }
+    for (Py_ssize_t i = 0; i < extra; i++) {
+        PyObject *a = args[2 + i];
+        Py_INCREF(a);
+        PyTuple_SET_ITEM(cargs, i, a);
+    }
+    slot_set(cb, S.c_fn, fn);
+    slot_set_steal(cb, S.c_args, cargs);
+
+    PyObject *seq = seq_next(sim);
+    if (seq == NULL) {
+        Py_DECREF(cb);
+        return NULL;
+    }
+    PyObject *when = time_add(SLOT(sim, S.s_now), delay);
+    if (when == NULL) {
+        Py_DECREF(seq);
+        Py_DECREF(cb);
+        return NULL;
+    }
+    int rc = push_keyed(sim, when, seq, cb);
+    Py_DECREF(cb);
+    if (rc < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+/* ------------------------------------------------------------------ */
+/* setup(namespace)                                                    */
+
+static Py_ssize_t
+slot_offset(PyObject *cls, const char *name)
+{
+    PyObject *descr = PyObject_GetAttrString(cls, name);
+    if (descr == NULL)
+        return -1;
+    if (Py_TYPE(descr) != &PyMemberDescr_Type) {
+        PyErr_Format(PyExc_TypeError,
+                     "%S.%s is not a __slots__ member descriptor "
+                     "(kernel layout drifted?)", cls, name);
+        Py_DECREF(descr);
+        return -1;
+    }
+    Py_ssize_t off = ((PyMemberDescrObject *)descr)->d_member->offset;
+    Py_DECREF(descr);
+    return off;
+}
+
+static PyObject *
+ns_get(PyObject *ns, const char *key)
+{
+    PyObject *v = PyDict_GetItemString(ns, key);   /* borrowed */
+    if (v == NULL) {
+        PyErr_Format(PyExc_KeyError, "setup() namespace missing %s", key);
+        return NULL;
+    }
+    Py_INCREF(v);
+    return v;
+}
+
+static PyObject *
+hot_setup(PyObject *module, PyObject *ns)
+{
+    (void)module;
+    if (!PyDict_Check(ns)) {
+        PyErr_SetString(PyExc_TypeError, "setup() expects a dict");
+        return NULL;
+    }
+
+#define TAKE(field, key)                                   \
+    do {                                                   \
+        PyObject *v = ns_get(ns, key);                     \
+        if (v == NULL)                                     \
+            return NULL;                                   \
+        Py_XSETREF(S.field, v);                            \
+    } while (0)
+
+    TAKE(SimulationError, "SimulationError");
+    TAKE(PENDING, "PENDING");
+    TAKE(resume_fn, "resume");
+
+    PyObject *tmp;
+#define TAKE_TYPE(field, key)                              \
+    do {                                                   \
+        tmp = ns_get(ns, key);                             \
+        if (tmp == NULL)                                   \
+            return NULL;                                   \
+        if (!PyType_Check(tmp)) {                          \
+            Py_DECREF(tmp);                                \
+            PyErr_SetString(PyExc_TypeError,               \
+                            key " must be a type");        \
+            return NULL;                                   \
+        }                                                  \
+        Py_XSETREF(S.field, (PyTypeObject *)tmp);          \
+    } while (0)
+
+    TAKE_TYPE(Simulator, "Simulator");
+    TAKE_TYPE(Event, "Event");
+    TAKE_TYPE(Timeout, "Timeout");
+    TAKE_TYPE(Process, "Process");
+    TAKE_TYPE(Callback, "Callback");
+    TAKE_TYPE(Wheel, "TimingWheel");
+#undef TAKE_TYPE
+#undef TAKE
+
+    tmp = ns_get(ns, "POOL_MAX");
+    if (tmp == NULL)
+        return NULL;
+    S.pool_max = PyLong_AsLong(tmp);
+    Py_DECREF(tmp);
+    if (S.pool_max == -1 && PyErr_Occurred())
+        return NULL;
+
+    PyObject *simcls = (PyObject *)S.Simulator;
+    PyObject *evcls = (PyObject *)S.Event;
+#define OFF(field, cls, name)                              \
+    do {                                                   \
+        Py_ssize_t o = slot_offset(cls, name);             \
+        if (o < 0)                                         \
+            return NULL;                                   \
+        S.field = o;                                       \
+    } while (0)
+
+    OFF(s_now, simcls, "_now");
+    OFF(s_heap, simcls, "_heap");
+    OFF(s_seq, simcls, "_seq");
+    OFF(s_tpool, simcls, "_tpool");
+    OFF(s_cbpool, simcls, "_cbpool");
+    OFF(s_wheel, simcls, "_wheel");
+    OFF(s_wheel_tick, simcls, "_wheel_tick");
+    OFF(s_batch, simcls, "_batch");
+    OFF(s_batch_pos, simcls, "_batch_pos");
+
+    OFF(e_sim, evcls, "sim");
+    OFF(e_callbacks, evcls, "callbacks");
+    OFF(e_value, evcls, "_value");
+    OFF(e_ok, evcls, "_ok");
+    OFF(e_defused, evcls, "_defused");
+    OFF(e_pooled, evcls, "_pooled");
+
+    OFF(t_node, (PyObject *)S.Timeout, "_node");
+    OFF(p_gen, (PyObject *)S.Process, "_gen");
+    OFF(p_target, (PyObject *)S.Process, "_target");
+    OFF(c_fn, (PyObject *)S.Callback, "fn");
+    OFF(c_args, (PyObject *)S.Callback, "args");
+    OFF(w_count, (PyObject *)S.Wheel, "_count");
+    OFF(w_next, (PyObject *)S.Wheel, "_next");
+#undef OFF
+
+    PyObject *heapq = PyImport_ImportModule("heapq");
+    if (heapq == NULL)
+        return NULL;
+    PyObject *hp = PyObject_GetAttrString(heapq, "heappush");
+    PyObject *hq = PyObject_GetAttrString(heapq, "heappop");
+    Py_DECREF(heapq);
+    if (hp == NULL || hq == NULL) {
+        Py_XDECREF(hp);
+        Py_XDECREF(hq);
+        return NULL;
+    }
+    Py_XSETREF(S.heappush, hp);
+    Py_XSETREF(S.heappop, hq);
+
+#define INTERN(field, text)                                \
+    do {                                                   \
+        PyObject *s = PyUnicode_InternFromString(text);    \
+        if (s == NULL)                                     \
+            return NULL;                                   \
+        Py_XSETREF(S.field, s);                            \
+    } while (0)
+    INTERN(str_advance, "advance");
+    INTERN(str_schedule, "schedule");
+    INTERN(str_throw, "throw");
+    INTERN(str_close, "close");
+    INTERN(str_fail, "fail");
+    INTERN(str_value, "value");
+    INTERN(str_name, "name");
+    INTERN(str_until, "until");
+    INTERN(str_kwvalue, "value");
+#undef INTERN
+
+    tmp = PyLong_FromLong(0);
+    if (tmp == NULL)
+        return NULL;
+    Py_XSETREF(S.zero, tmp);
+
+    S.ready = 1;
+    Py_RETURN_NONE;
+}
+
+/* ------------------------------------------------------------------ */
+/* Module                                                              */
+
+/* The hot entry points, declared as plain method defs so that
+ * bind_methods() can graft them onto TurboSimulator as *method
+ * descriptors* (PyDescr_NewMethod).  Descriptors matter: CPython 3.11+
+ * specializes LOAD_METHOD/CALL for METH_FASTCALL method descriptors,
+ * so `sim.timeout(d)` goes straight into C with no bound-method
+ * allocation per call -- the difference between ~2.7x and >3x on the
+ * timeout_chain benchmark. */
+static PyMethodDef run_def = {
+    "run", (PyCFunction)(void (*)(void))hot_run,
+    METH_FASTCALL | METH_KEYWORDS,
+    "Compiled Simulator.run: drain the queue (optionally to `until`).",
+};
+static PyMethodDef timeout_def = {
+    "timeout", (PyCFunction)(void (*)(void))hot_timeout,
+    METH_FASTCALL | METH_KEYWORDS,
+    "Compiled Simulator.timeout: an event triggering `delay` from now.",
+};
+static PyMethodDef call_later_def = {
+    "call_later", (PyCFunction)(void (*)(void))hot_call_later,
+    METH_FASTCALL | METH_KEYWORDS,
+    "Compiled Simulator.call_later: schedule fn(*args) `delay` from now.",
+};
+
+static PyObject *
+hot_bind_methods(PyObject *module, PyObject *cls)
+{
+    (void)module;
+    if (check_ready() < 0)
+        return NULL;
+    if (!PyType_Check(cls)) {
+        PyErr_SetString(PyExc_TypeError, "bind_methods() expects a type");
+        return NULL;
+    }
+    PyMethodDef *defs[] = {&run_def, &timeout_def, &call_later_def, NULL};
+    PyObject *out = PyDict_New();
+    if (out == NULL)
+        return NULL;
+    for (PyMethodDef **d = defs; *d != NULL; d++) {
+        PyObject *descr = PyDescr_NewMethod((PyTypeObject *)cls, *d);
+        if (descr == NULL)
+            goto fail;
+        int rc = PyDict_SetItemString(out, (*d)->ml_name, descr);
+        Py_DECREF(descr);
+        if (rc < 0)
+            goto fail;
+    }
+    return out;
+fail:
+    Py_DECREF(out);
+    return NULL;
+}
+
+static PyMethodDef hot_methods[] = {
+    {"setup", (PyCFunction)hot_setup, METH_O,
+     "Bind the live kernel classes/sentinels and cache slot offsets."},
+    {"bind_methods", (PyCFunction)hot_bind_methods, METH_O,
+     "Method descriptors {name: descr} for the given TurboSimulator "
+     "type; assign them as class attributes."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef hot_module = {
+    PyModuleDef_HEAD_INIT,
+    "repro.sim.turbo._hot",
+    "Compiled dispatch core for the repro DES kernel "
+    "(see repro.sim.turbo).",
+    -1,
+    hot_methods,
+    NULL, NULL, NULL, NULL,
+};
+
+PyMODINIT_FUNC
+PyInit__hot(void)
+{
+    return PyModule_Create(&hot_module);
+}

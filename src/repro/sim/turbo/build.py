@@ -1,0 +1,74 @@
+"""Build the compiled turbo dispatch core in place.
+
+Usage::
+
+    python -m repro.sim.turbo.build          # build, report, exit 0/1
+    python -m repro.sim.turbo.build --check  # report only, no build
+
+This is the no-packaging path for source checkouts run with
+``PYTHONPATH=src``: it invokes ``setup.py build_ext --inplace`` from the
+repository root, which drops ``_hot.*.so`` next to this file.  Installed
+trees get the same artifact from ``pip install -e .[turbo]`` (the
+extension is declared optional there, so a missing compiler degrades to
+the pure-Python kernel instead of failing the install).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+
+def repo_root() -> Path:
+    """The directory holding setup.py, located relative to this file."""
+    # src/repro/sim/turbo/build.py -> repo root is four levels up from
+    # the package dir (src/../..).
+    return Path(__file__).resolve().parents[4]
+
+
+def build(verbose: bool = True) -> bool:
+    """Compile the extension in place; True on success."""
+    root = repo_root()
+    if not (root / "setup.py").is_file():
+        if verbose:
+            print(
+                f"[turbo] no setup.py at {root}; for installed trees use "
+                "`pip install -e .[turbo]`",
+                file=sys.stderr,
+            )
+        return False
+    proc = subprocess.run(
+        [sys.executable, "setup.py", "build_ext", "--inplace"],
+        cwd=root,
+        capture_output=not verbose,
+    )
+    return proc.returncode == 0
+
+
+def status() -> str:
+    """One-line availability report for the compiled core."""
+    from . import extension_available, extension_error
+
+    if extension_available():
+        return "turbo extension available (compiled dispatch core active)"
+    return f"turbo extension unavailable: {extension_error()!r}"
+
+
+def main(argv: list | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    argv = sys.argv[1:] if argv is None else argv
+    if "--check" not in argv:
+        ok = build()
+        if not ok:
+            print("[turbo] build failed; pure-Python kernel remains active")
+            print(status())
+            return 1
+    print(status())
+    from . import extension_available
+
+    return 0 if extension_available() else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

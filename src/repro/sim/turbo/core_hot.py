@@ -1,0 +1,74 @@
+"""Shared hot-path helpers: the single source of wheel-vs-heap routing.
+
+Before the turbo backend existed, the wheel-vs-heap routing block —
+"try to stage the entry on the timing wheel; fall back to the dispatch
+heap when it does not fit" — was spelled out three times in
+:mod:`repro.sim.core` (``Timeout.__init__``, the pooled path of
+:meth:`Simulator.timeout`, and :meth:`Simulator.schedule_timer`, with a
+fourth variation inside :meth:`Timer.rearm`).  Four copies of the same
+invariant is how order-preservation bugs are born, and the compiled
+backend would have made it six.  This module holds the one canonical
+copy of each flavour:
+
+* :func:`route_timeout` — place an *event* entry (a :class:`Timeout`)
+  whose delay reached the wheel threshold;
+* :func:`route_callback` — place a *bare-callback* entry owned by a
+  :class:`Timer` handle, wheel first, pooled heap entry as fallback.
+
+Both are called with the ``(when, seq)`` key already assigned, so the
+routing decision can never perturb tie-breaking — the same contract the
+wheel itself documents.  The sub-tick fast path (``delay <
+sim._wheel_tick`` → one inline ``heappush``) deliberately stays at the
+call sites: it is a single line with no routing logic in it, and the
+``timeout()`` free-list path is the hottest allocation site in the
+kernel.
+
+This module is written to stay compilable: plain functions, no
+closures, no dynamic attribute tricks — ``mypyc``/``Cython`` can take
+it as-is on machines that have them (see ``repro/sim/turbo/build.py``).
+The hand-written C core (``_hot.c``) mirrors exactly these helpers plus
+the dispatch loop; when it is present, :data:`repro.sim.turbo`'s
+``TurboSimulator`` overrides the three hot entry points with the
+compiled rendition and everything else keeps running this Python code.
+"""
+
+from __future__ import annotations
+
+from heapq import heappush
+from typing import Any
+
+__all__ = ["route_timeout", "route_callback"]
+
+
+def route_timeout(sim: Any, ev: Any, when: float, seq: int) -> None:
+    """Stage a wheel-eligible Timeout, falling back to the heap.
+
+    ``ev._node`` tracks residency exactly as before: a wheel node while
+    staged, ``None`` when heap-resident (the wheel declined: entry due
+    within the current slot or beyond the horizon).
+    """
+    ev._node = node = sim._wheel.schedule(when, seq, None, None, ev)
+    if node is None:
+        heappush(sim._heap, (when, seq, ev))
+
+
+def route_callback(sim: Any, timer: Any, delay: float, when: float, seq: int) -> None:
+    """Place a Timer-owned bare callback: wheel first, pooled heap entry
+    otherwise.
+
+    Wheel residency gives the O(1) true-cancel/rearm path; the heap
+    fallback (sub-tick delay, wheel declined, or wheel disabled) recycles
+    a ``_Callback`` entry from the simulator's free list and hands the
+    handle over to tombstone cancellation via ``timer._entry``.
+    """
+    if delay >= sim._wheel_tick:
+        node = sim._wheel.schedule(when, seq, timer._run, (), timer)
+        if node is not None:
+            timer._node = node
+            return
+    pool = sim._cbpool
+    cb = pool.pop() if pool else sim._cb_class()
+    cb.fn = timer._run
+    cb.args = ()
+    timer._entry = cb
+    heappush(sim._heap, (when, seq, cb))

@@ -1,0 +1,338 @@
+"""Turbo backend contract: selection, fallback, and byte-level parity.
+
+The compiled dispatch core (``repro.sim.turbo._hot``) promises to be a
+pure accelerator: same heap, same pools, same wheel, same dispatch
+order.  This file pins the selection machinery (env gate, auto-detect,
+explicit-request failure), the drop-in surface (``backend`` property,
+``timer_stats`` parity, pickling across the process-pool boundary), and
+— via a hypothesis random-interleaving property — the dispatch-order
+equivalence of every backend/batch combination.
+
+Tests that need the compiled core skip (not fail) when it is absent, so
+the suite stays green on toolchain-less machines; the selection and
+fallback tests run everywhere.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Experiment,
+    PointSpec,
+    Scenario,
+    ServerSpec,
+    WorkloadSpec,
+    run_point,
+)
+from repro.sim import Simulator
+from repro.sim import turbo
+from repro.sim.turbo import extension_available, resolve_backend
+
+needs_turbo = pytest.mark.skipif(
+    not extension_available(), reason="compiled turbo extension not built"
+)
+
+
+# -- backend selection --------------------------------------------------
+
+
+def test_env_gate_python(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL", "python")
+    sim = Simulator()
+    assert sim.backend == "python"
+    assert type(sim).__name__ == "Simulator"
+
+
+@needs_turbo
+def test_env_gate_turbo(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL", "turbo")
+    sim = Simulator()
+    assert sim.backend == "turbo"
+
+
+@needs_turbo
+def test_explicit_arg_beats_env(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL", "python")
+    assert Simulator(backend="turbo").backend == "turbo"
+    monkeypatch.setenv("REPRO_KERNEL", "turbo")
+    assert Simulator(backend="python").backend == "python"
+
+
+def test_auto_detect(monkeypatch):
+    monkeypatch.delenv("REPRO_KERNEL", raising=False)
+    sim = Simulator()
+    assert sim.backend == ("turbo" if extension_available() else "python")
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError, match="unknown kernel backend"):
+        Simulator(backend="cython")
+
+
+def test_explicit_turbo_raises_when_extension_missing(monkeypatch):
+    """REPRO_KERNEL=turbo must fail loudly, never silently measure Python."""
+    monkeypatch.setattr(turbo, "_ext_checked", True)
+    monkeypatch.setattr(turbo, "_ext_error", ImportError("no such module"))
+    with pytest.raises(RuntimeError, match="REPRO_KERNEL=turbo"):
+        resolve_backend("turbo")
+    # ...while auto quietly falls back.
+    assert resolve_backend("auto") == "python"
+    assert resolve_backend(None) == "python"
+
+
+def test_subclass_construction_not_hijacked():
+    """Simulator subclasses must get their own class, not a backend."""
+
+    class MySim(Simulator):
+        pass
+
+    assert type(MySim()) is MySim
+
+
+# -- drop-in surface ----------------------------------------------------
+
+
+@needs_turbo
+def test_timer_stats_parity():
+    """Counter bookkeeping must match, field for field."""
+
+    def exercise(backend):
+        sim = Simulator(backend=backend)
+        fired = []
+        timers = [
+            sim.schedule_timer(2.0 + 0.001 * i, fired.append, i)
+            for i in range(96)
+        ]
+        for t in timers[:32]:
+            t.cancel()
+        for t in timers[32:48]:
+            t.rearm(5.0)
+        sim.timeout(10.0)
+        sim.run(20.0)
+        stats = sim.timer_stats()
+        assert stats.pop("backend") == backend
+        return stats, fired
+
+    py_stats, py_fired = exercise("python")
+    tb_stats, tb_fired = exercise("turbo")
+    assert py_fired == tb_fired
+    assert py_stats == tb_stats
+
+
+@needs_turbo
+def test_peek_and_now_parity():
+    for backend in ("python", "turbo"):
+        sim = Simulator(backend=backend)
+        sim.timeout(1.5)
+        sim.call_later(0.25, lambda: None)
+        assert sim.peek() == 0.25
+        sim.run(1.0)
+        assert sim.now == 1.0
+        assert sim.peek() == 1.5
+
+
+@needs_turbo
+def test_kernel_fastpath_identities_under_turbo():
+    """The recycling contract holds on the compiled paths too."""
+    sim = Simulator(backend="turbo")
+
+    def proc():
+        t1 = yield sim.timeout(0.01, "a")
+        t2 = yield sim.timeout(0.01, "b")
+        return (t1, t2)
+
+    p = sim.process(proc())
+    assert sim.run_process(p) == ("a", "b")
+    # Pool now holds recycled timeouts: identity reuse skips a generation.
+    first = sim.timeout(0.5)
+    again = sim.timeout(0.5)
+    assert first is not again
+    with pytest.raises(Exception, match="negative delay"):
+        sim.timeout(-0.1)
+    with pytest.raises(Exception, match="negative delay"):
+        sim.call_later(-0.1, lambda: None)
+
+
+@needs_turbo
+def test_run_backwards_rejected_under_turbo():
+    sim = Simulator(backend="turbo")
+    sim.run(5.0)
+    with pytest.raises(Exception, match="cannot run backwards"):
+        sim.run(1.0)
+
+
+@needs_turbo
+def test_process_failure_propagates_under_turbo():
+    sim = Simulator(backend="turbo")
+
+    def boom():
+        yield sim.timeout(0.1)
+        raise ValueError("kaboom")
+
+    p = sim.process(boom())
+    with pytest.raises(ValueError, match="kaboom"):
+        sim.run_process(p)
+
+
+@needs_turbo
+def test_interrupt_under_turbo():
+    from repro.sim import Interrupted
+
+    sim = Simulator(backend="turbo")
+    log = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+            log.append("slept")
+        except Interrupted as intr:
+            log.append(("interrupted", intr.cause))
+
+    p = sim.process(sleeper())
+    sim.call_later(1.0, p.interrupt, "wake")
+    sim.run()
+    assert log == [("interrupted", "wake")]
+
+
+# -- process-pool boundary ----------------------------------------------
+
+
+@needs_turbo
+def test_point_spec_roundtrip_through_pool_with_turbo(monkeypatch):
+    """The parallel runner must work while turbo is the session backend.
+
+    Simulators themselves never cross the boundary (specs and metrics
+    do), so the turbo class being unpicklable-by-construction must not
+    matter; each worker re-resolves its own backend.
+    """
+    from repro.net import NetworkSpec
+    from repro.osmodel import MachineSpec
+
+    monkeypatch.setenv("REPRO_KERNEL", "turbo")
+    spec = PointSpec(
+        server=ServerSpec.nio(1),
+        workload=WorkloadSpec(clients=16, duration=1.0, warmup=0.5),
+        machine=MachineSpec(cpus=1),
+        network=NetworkSpec.gigabit(),
+        seed=3,
+    )
+    local = run_point(spec).row()
+    with concurrent.futures.ProcessPoolExecutor(max_workers=1) as pool:
+        remote = pool.submit(run_point, spec).result(timeout=300).row()
+    assert remote == local
+
+
+# -- dispatch-order equivalence (property) ------------------------------
+
+
+def _interleaving_trace(backend, ops, no_batch):
+    """Drive one simulator through a random op schedule; return the trace.
+
+    Manages REPRO_NO_BATCH directly (restoring it on exit) instead of
+    via the monkeypatch fixture, so hypothesis can call this many times
+    within one test function.
+    """
+    saved = os.environ.pop("REPRO_NO_BATCH", None)
+    if no_batch:
+        os.environ["REPRO_NO_BATCH"] = "1"
+    try:
+        return _interleaving_trace_inner(backend, ops)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_NO_BATCH", None)
+        else:
+            os.environ["REPRO_NO_BATCH"] = saved
+
+
+def _interleaving_trace_inner(backend, ops):
+    sim = Simulator(backend=backend)
+    trace = []
+    timers = []
+
+    def fire(tag):
+        trace.append((round(sim.now, 9), tag))
+
+    def spawn(pid, delays):
+        def proc():
+            for i, d in enumerate(delays):
+                yield sim.timeout(d)
+                trace.append((round(sim.now, 9), ("proc", pid, i)))
+
+        sim.process(proc())
+
+    for i, (kind, a, b) in enumerate(ops):
+        if kind == 0:
+            sim.call_later(a, fire, ("cb", i))
+        elif kind == 1:
+            timers.append(sim.schedule_timer(a, fire, ("timer", i)))
+        elif kind == 2 and timers:
+            timers[int(b * len(timers)) % len(timers)].rearm(a)
+        elif kind == 3 and timers:
+            timers[int(b * len(timers)) % len(timers)].cancel()
+        else:
+            spawn(i, [a, b])
+    sim.run()
+    return trace
+
+
+op_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4),
+        st.floats(min_value=0.0, max_value=4.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@needs_turbo
+@given(ops=op_strategy)
+@settings(max_examples=40, deadline=None)
+def test_random_interleavings_dispatch_identically(ops):
+    """Any mix of timeouts, timers, re-arms, cancels, and processes must
+    fire in the same order on every backend/batch combination."""
+    reference = _interleaving_trace("python", ops, False)
+    for backend, no_batch in [
+        ("python", True),
+        ("turbo", False),
+        ("turbo", True),
+    ]:
+        got = _interleaving_trace(backend, ops, no_batch)
+        assert got == reference, (backend, no_batch)
+
+
+@needs_turbo
+def test_seeded_storm_identical_across_backends():
+    """A dense seeded storm (forcing bulk wheel flushes) stays identical."""
+    rng = random.Random(11)
+    ops = [
+        (rng.randrange(5), rng.uniform(0.0, 4.0), rng.random())
+        for _ in range(400)
+    ]
+    reference = _interleaving_trace("python", ops, False)
+    assert len(reference) > 100
+    assert _interleaving_trace("turbo", ops, False) == reference
+
+
+# -- whole-experiment smoke (cheap leg of the equivalence matrix) -------
+
+
+@needs_turbo
+def test_experiment_row_identical_quick(monkeypatch):
+    rows = {}
+    for backend in ("python", "turbo"):
+        monkeypatch.setenv("REPRO_KERNEL", backend)
+        rows[backend] = Experiment(
+            server=ServerSpec.httpd(32),
+            workload=WorkloadSpec(clients=48, duration=2.0, warmup=1.0),
+            seed=5,
+        ).run().row()
+    assert rows["python"] == rows["turbo"]
